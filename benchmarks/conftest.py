@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one table or figure from the paper.  The datasets
+here are scaled-down versions of the paper's benchmarks (the full OTB-100 /
+VOT-2014 / 7,264-frame detection sets would take hours in pure Python); the
+shapes of the results are what the benches assert, and EXPERIMENTS.md records
+the paper-vs-measured comparison for the committed configuration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.video.datasets import build_detection_dataset, build_tracking_dataset
+
+
+#: EW sweep used by the figure benchmarks (matches the paper's EW-2..EW-32).
+EW_SWEEP = (2, 4, 8, 16, 32)
+
+
+@pytest.fixture(scope="session")
+def tracking_dataset():
+    """OTB-like + VOT-like tracking pool (scaled-down stand-in for 125 sequences)."""
+    return build_tracking_dataset(
+        otb_sequences=8, vot_sequences=3, frames_per_sequence=36, seed=100
+    )
+
+
+@pytest.fixture(scope="session")
+def small_tracking_dataset():
+    """Smaller pool for the expensive sweeps (Fig. 11a/11b)."""
+    return build_tracking_dataset(
+        otb_sequences=5, vot_sequences=0, frames_per_sequence=30, seed=500
+    )
+
+
+@pytest.fixture(scope="session")
+def detection_dataset():
+    """In-house-like multi-object detection dataset (~6 objects per frame)."""
+    return build_detection_dataset(num_sequences=3, frames_per_sequence=32, seed=7264)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

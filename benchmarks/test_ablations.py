@@ -1,0 +1,91 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* Confidence filtering (Eq. 2/3) on vs off — the filter should never hurt and
+  should help on noisy (fast-motion / blur) scenes.
+* Sub-ROI deformation handling on vs off — splitting the ROI should help on
+  deformable-object scenes.
+* The motion-controller IP vs CPU-hosted extrapolation is covered by the
+  EW-8@CPU bar of Fig. 9b (see test_fig9b_detection_energy_fps.py).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EuphratesConfig, EuphratesPipeline, tracking_backend_for
+from repro.core.extrapolation import ExtrapolationConfig
+from repro.core.window import ConstantWindowController
+from repro.eval import success_rate
+from repro.video.attributes import VisualAttribute
+from repro.video.datasets import Dataset, build_otb_like_dataset
+from repro.video.synthetic import SequenceConfig, SequenceGenerator
+
+from conftest import run_once
+
+
+def _run_with_extrapolation_config(dataset, extrapolation: ExtrapolationConfig, window: int = 8):
+    pipeline = EuphratesPipeline(
+        tracking_backend_for("mdnet", seed=3),
+        ConstantWindowController(window),
+        EuphratesConfig(extrapolation=extrapolation),
+    )
+    return pipeline.run_dataset(dataset)
+
+
+@pytest.fixture(scope="module")
+def deformation_dataset():
+    """Sequences dominated by deformable objects."""
+    sequences = []
+    for index in range(4):
+        config = SequenceConfig(
+            name=f"deform_{index}",
+            num_frames=30,
+            seed=900 + index,
+            attributes=frozenset({VisualAttribute.DEFORMATION}),
+        )
+        sequences.append(SequenceGenerator(config).generate())
+    return Dataset(name="deformation", sequences=sequences)
+
+
+def test_ablation_confidence_filter(benchmark):
+    """The Eq. 2/3 confidence filter should not hurt ordinary tracking."""
+    dataset = build_otb_like_dataset(num_sequences=5, frames_per_sequence=30, seed=800)
+
+    def run():
+        with_filter = _run_with_extrapolation_config(
+            dataset, ExtrapolationConfig(use_confidence_filter=True)
+        )
+        without_filter = _run_with_extrapolation_config(
+            dataset, ExtrapolationConfig(use_confidence_filter=False)
+        )
+        return (
+            success_rate(with_filter, dataset, 0.5),
+            success_rate(without_filter, dataset, 0.5),
+        )
+
+    with_filter, without_filter = run_once(benchmark, run)
+    print(f"\nconfidence filter on: {with_filter:.3f}  off: {without_filter:.3f}")
+    assert with_filter >= without_filter - 0.05
+    assert with_filter > 0.5
+
+
+def test_ablation_sub_roi_deformation(benchmark, deformation_dataset):
+    """Sub-ROI extrapolation should be at least as good as rigid extrapolation
+    on deformable objects (Sec. 3.2, "Handle Deformations")."""
+
+    def run():
+        with_sub_rois = _run_with_extrapolation_config(
+            deformation_dataset, ExtrapolationConfig(sub_roi_grid=(2, 2))
+        )
+        rigid = _run_with_extrapolation_config(
+            deformation_dataset, ExtrapolationConfig(sub_roi_grid=(1, 1))
+        )
+        return (
+            success_rate(with_sub_rois, deformation_dataset, 0.5),
+            success_rate(rigid, deformation_dataset, 0.5),
+        )
+
+    with_sub_rois, rigid = run_once(benchmark, run)
+    print(f"\nsub-ROI grid (2,2): {with_sub_rois:.3f}  rigid (1,1): {rigid:.3f}")
+    assert with_sub_rois >= rigid - 0.05
+    assert with_sub_rois > 0.5

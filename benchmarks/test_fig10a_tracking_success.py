@@ -1,0 +1,46 @@
+"""Fig. 10a: tracking success rate vs IoU threshold (MDNet, EW-N, EW-A).
+
+Runs the Euphrates pipeline with the MDNet-class tracker over the combined
+OTB-like + VOT-like pool.  Expected shape: EW-2 within ~1% of the baseline at
+IoU 0.5, growing degradation with larger windows, and the adaptive mode
+trading a little accuracy for a much lower inference rate.
+"""
+
+from __future__ import annotations
+
+from repro.harness import figure10a_tracking_success, format_table
+
+from conftest import EW_SWEEP, run_once
+
+
+def test_fig10a_tracking_success(benchmark, tracking_dataset):
+    result = run_once(
+        benchmark,
+        figure10a_tracking_success,
+        dataset=tracking_dataset,
+        ew_values=EW_SWEEP,
+        include_adaptive=True,
+        seed=1,
+    )
+    print()
+    print(format_table(result.headers(), result.rows()))
+    print()
+    print("inference rates:", {k: round(v, 3) for k, v in result.inference_rates.items()})
+
+    baseline = result.at("MDNet", 0.5)
+    ew2 = result.at("EW-2", 0.5)
+    ew4 = result.at("EW-4", 0.5)
+    ew32 = result.at("EW-32", 0.5)
+    adaptive = result.at("EW-A", 0.5)
+
+    # Paper: EW-2 loses only ~1% success at IoU 0.5.
+    assert baseline - ew2 < 0.08
+    # Larger windows lose progressively more accuracy (paper: EW-32 ~27% loss).
+    assert ew2 >= ew4 >= ew32
+    assert baseline - ew32 > 0.10
+    # Adaptive mode is more accurate than EW-32 while triggering far fewer
+    # inferences than the baseline.
+    assert adaptive > ew32
+    assert result.inference_rates["EW-A"] < 0.6
+    assert abs(result.inference_rates["EW-2"] - 0.5) < 0.05
+    assert abs(result.inference_rates["EW-4"] - 0.25) < 0.05

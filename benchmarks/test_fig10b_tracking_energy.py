@@ -1,0 +1,51 @@
+"""Fig. 10b: normalized energy and inference rate for visual tracking.
+
+MDNet already sustains 60 FPS on the modeled accelerator, so Euphrates'
+benefit for tracking is purely energy: EW-2 cuts the backend energy roughly
+in half (~20-30% at the SoC level), savings saturate at large windows as the
+frontend and memory dominate, and the adaptive mode lands near EW-4's energy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import figure10b_tracking_energy
+from repro.harness.reporting import format_table
+
+from conftest import EW_SWEEP, run_once
+
+
+def test_fig10b_tracking_energy(benchmark):
+    result = run_once(
+        benchmark,
+        figure10b_tracking_energy,
+        ew_values=EW_SWEEP,
+        num_frames=69_253,
+        adaptive_inference_rate=0.28,
+    )
+    print()
+    print(format_table(result.headers(), result.rows()))
+
+    baseline = result.breakdowns["MDNet"]
+    ew2 = result.breakdowns["EW-2"]
+    ew4 = result.breakdowns["EW-4"]
+    ew32 = result.breakdowns["EW-32"]
+    adaptive = result.breakdowns["EW-A"]
+
+    # Tracking runs at the camera rate in every configuration.
+    for breakdown in result.breakdowns.values():
+        assert breakdown.fps == pytest.approx(60.0, rel=0.01)
+
+    # Paper: EW-2 saves ~21% SoC energy (50% of the backend).
+    assert 0.15 <= ew2.energy_saving_vs(baseline) <= 0.40
+    backend_saving = 1.0 - ew2.backend_energy_per_frame_j / baseline.backend_energy_per_frame_j
+    assert 0.4 <= backend_saving <= 0.6
+    # Savings grow with EW but saturate (frontend + memory floor).
+    assert ew4.energy_saving_vs(baseline) > ew2.energy_saving_vs(baseline)
+    assert ew32.energy_saving_vs(baseline) < 0.65
+    # Adaptive mode's energy sits near EW-4 (paper: ~31% saving).
+    assert adaptive.energy_per_frame_j == pytest.approx(ew4.energy_per_frame_j, rel=0.15)
+    # Inference rate annotations match the windows.
+    assert ew4.inference_rate == pytest.approx(0.25, abs=0.01)
+    assert adaptive.inference_rate == pytest.approx(0.28, abs=0.01)

@@ -1,0 +1,45 @@
+"""Fig. 10c: per-sequence success rate for EW-2, EW-4 and the adaptive mode.
+
+The paper's observation: the adaptive mode has a more uniform success rate
+across scenes than EW-4 (it backs off to small windows on hard scenes), and
+behaves similarly to EW-2 overall.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.harness import figure10c_per_sequence_success
+from repro.harness.reporting import format_table
+
+from conftest import run_once
+
+
+def test_fig10c_per_sequence_success(benchmark, tracking_dataset):
+    result = run_once(
+        benchmark,
+        figure10c_per_sequence_success,
+        dataset=tracking_dataset,
+        configurations=(2, 4, "adaptive"),
+        seed=1,
+    )
+    print()
+    print(format_table(result.headers(), result.rows()))
+
+    ew2 = np.array(sorted(result.values["EW-2"].values()))
+    ew4 = np.array(sorted(result.values["EW-4"].values()))
+    adaptive = np.array(sorted(result.values["EW-A"].values()))
+
+    # Every configuration reports one value per sequence, all within [0, 1].
+    num_sequences = len(tracking_dataset)
+    for series in (ew2, ew4, adaptive):
+        assert len(series) == num_sequences
+        assert np.all(series >= 0.0) and np.all(series <= 1.0)
+
+    # The adaptive mode is at least as accurate as EW-4 on the hardest scenes
+    # (the low end of the sorted curve) and no worse than EW-4 on average.
+    hardest = max(1, num_sequences // 4)
+    assert adaptive[:hardest].mean() >= ew4[:hardest].mean() - 0.05
+    assert adaptive.mean() >= ew4.mean() - 0.05
+    # EW-2 remains the accuracy upper bound among the three.
+    assert ew2.mean() >= adaptive.mean() - 0.05

@@ -1,0 +1,57 @@
+"""Fig. 11a: tracking success rate vs macroblock size (4..128) per EW.
+
+The paper's findings: accuracy is largely insensitive to macroblock size at
+small extrapolation windows; at large windows, very small blocks (noisy,
+miss global motion) and very large blocks (mix background into the object)
+both hurt, with 16x16 the consistently good middle ground.
+"""
+
+from __future__ import annotations
+
+from repro.harness import figure11a_macroblock_sensitivity, format_table
+
+from conftest import run_once
+
+
+BLOCK_SIZES = (4, 8, 16, 32, 64, 128)
+
+
+def test_fig11a_macroblock_sensitivity(benchmark, small_tracking_dataset):
+    result = run_once(
+        benchmark,
+        figure11a_macroblock_sensitivity,
+        dataset=small_tracking_dataset,
+        block_sizes=BLOCK_SIZES,
+        ew_values=(2, 8, 32),
+        seed=1,
+    )
+    print()
+    print(format_table(result.headers(), result.rows()))
+
+    ew2 = result.values["EW-2"]
+    ew8 = result.values["EW-8"]
+    ew32 = result.values["EW-32"]
+
+    # All sweeps cover every block size with valid rates.
+    for series in (ew2, ew8, ew32):
+        assert set(series.keys()) == set(BLOCK_SIZES)
+        assert all(0.0 <= value <= 1.0 for value in series.values())
+
+    # Small windows are insensitive to the macroblock size (paper: EW-2
+    # curves are nearly flat).
+    assert max(ew2.values()) - min(ew2.values()) < 0.15
+
+    # Large windows are more sensitive than small windows.
+    spread_ew32 = max(ew32.values()) - min(ew32.values())
+    spread_ew2 = max(ew2.values()) - min(ew2.values())
+    assert spread_ew32 >= spread_ew2 - 0.02
+
+    # Overly small macroblocks (4/8 px) cannot capture an object's global
+    # motion and clearly hurt once errors accumulate over a large window.
+    assert min(ew32[4], ew32[8]) < max(ew32.values()) - 0.10
+
+    # 16x16 stays close to the best choice at small windows.  (The paper's
+    # second finding — that overly LARGE blocks also hurt — depends on
+    # textured/cluttered backgrounds and does not fully reproduce on the
+    # smooth synthetic backgrounds; see EXPERIMENTS.md.)
+    assert ew2[16] >= max(ew2.values()) - 0.12

@@ -1,0 +1,51 @@
+"""Fig. 11b: exhaustive search vs three-step search accuracy.
+
+The paper's finding: despite ES costing ~9x more arithmetic than TSS, the
+tracking success rates of the two block-matching strategies are nearly
+identical — so the cheap search is the right choice for the ISP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.harness import figure11b_es_vs_tss
+from repro.harness.reporting import format_table
+from repro.motion.block_matching import (
+    exhaustive_search_ops_per_macroblock,
+    three_step_search_ops_per_macroblock,
+)
+
+from conftest import run_once
+
+
+def test_fig11b_es_vs_tss(benchmark, small_tracking_dataset):
+    scatter = run_once(
+        benchmark,
+        figure11b_es_vs_tss,
+        dataset=small_tracking_dataset,
+        ew_values=(2, 8, 32),
+        thresholds=(0.1, 0.3, 0.5, 0.7, 0.9),
+        seed=1,
+    )
+    rows = []
+    for label, points in scatter.items():
+        for threshold, es, tss in points:
+            rows.append([label, threshold, round(es, 3), round(tss, 3)])
+    print()
+    print(format_table(["config", "IoU threshold", "ES", "TSS"], rows))
+
+    # The scatter hugs the diagonal: ES and TSS success rates nearly match.
+    differences = [abs(es - tss) for points in scatter.values() for _t, es, tss in points]
+    assert float(np.mean(differences)) < 0.08
+    # At small and moderate windows the two strategies are essentially
+    # interchangeable point by point; at EW-32 individual high-IoU points get
+    # noisy on a small dataset, so only the average is constrained there.
+    for label in ("EW-2", "EW-8"):
+        assert max(abs(es - tss) for _t, es, tss in scatter[label]) < 0.15
+    ew32_diffs = [abs(es - tss) for _t, es, tss in scatter["EW-32"]]
+    assert float(np.mean(ew32_diffs)) < 0.15
+
+    # The compute gap that makes this equivalence worthwhile (~9x at d = 7).
+    ratio = exhaustive_search_ops_per_macroblock(16, 7) / three_step_search_ops_per_macroblock(16, 7)
+    assert ratio > 8.0

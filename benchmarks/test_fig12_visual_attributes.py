@@ -1,0 +1,61 @@
+"""Fig. 12: accuracy sensitivity to visual attributes (MDNet vs EW-2).
+
+The paper's finding: Euphrates' extrapolation loses the most accuracy on
+fast-motion and motion-blur scenes (where block matching fails), and little
+elsewhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.harness import figure12_attribute_sensitivity
+from repro.harness.reporting import format_table
+from repro.video.attributes import VisualAttribute
+
+from conftest import run_once
+
+
+def test_fig12_attribute_sensitivity(benchmark, tracking_dataset):
+    breakdown = run_once(
+        benchmark,
+        figure12_attribute_sensitivity,
+        dataset=tracking_dataset,
+        extrapolation_window=2,
+        seed=1,
+    )
+    baseline = breakdown["MDNet"]
+    euphrates = breakdown["EW-2"]
+
+    rows = []
+    for attribute in baseline:
+        rows.append(
+            [
+                attribute.display_name,
+                round(baseline[attribute], 3),
+                round(euphrates.get(attribute, 0.0), 3),
+                round(baseline[attribute] - euphrates.get(attribute, 0.0), 3),
+            ]
+        )
+    print()
+    print(format_table(["Attribute", "MDNet", "EW-2", "Loss"], rows))
+
+    # Both configurations report every attribute present in the dataset.
+    assert set(baseline.keys()) == set(euphrates.keys())
+    assert len(baseline) >= 6
+
+    losses = {attr: baseline[attr] - euphrates[attr] for attr in baseline}
+    motion_attrs = [
+        attr
+        for attr in (VisualAttribute.FAST_MOTION, VisualAttribute.MOTION_BLUR)
+        if attr in losses
+    ]
+    easy_attrs = [attr for attr in losses if attr not in motion_attrs]
+    assert motion_attrs, "the dataset must contain fast-motion sequences"
+
+    # Fast motion / blur are where extrapolation loses the most accuracy.
+    worst_motion_loss = max(losses[attr] for attr in motion_attrs)
+    mean_easy_loss = float(np.mean([losses[attr] for attr in easy_attrs]))
+    assert worst_motion_loss >= mean_easy_loss - 0.02
+    # On the remaining attributes EW-2 stays close to the baseline.
+    assert mean_easy_loss < 0.12

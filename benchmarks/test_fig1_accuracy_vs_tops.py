@@ -1,0 +1,33 @@
+"""Fig. 1: accuracy vs compute requirement for object-detection approaches.
+
+Regenerates the motivation figure: hand-crafted detectors (Haar, HOG) fit the
+~1 TOPS mobile budget but are inaccurate; full CNN detectors (SSD, YOLOv2,
+Faster R-CNN) are accurate but exceed the budget by an order of magnitude;
+Tiny YOLO sits in between.
+"""
+
+from __future__ import annotations
+
+from repro.harness import figure1_accuracy_vs_tops, format_table
+from repro.nn.models import MOBILE_TOPS_BUDGET
+
+from conftest import run_once
+
+
+def test_fig1_accuracy_vs_tops(benchmark):
+    rows = run_once(benchmark, figure1_accuracy_vs_tops)
+    print()
+    print(format_table(["Detector", "TOPS @480p60", "Accuracy %", "CNN", "Fits 1W"], rows))
+
+    by_name = {row[0]: row for row in rows}
+    # Hand-crafted approaches fit the budget but are far less accurate.
+    for name in ("Haar", "HOG"):
+        assert by_name[name][1] <= MOBILE_TOPS_BUDGET
+        assert by_name[name][2] < 40.0
+    # Full CNN detectors exceed the budget by >2x but are far more accurate.
+    for name in ("SSD", "YOLOv2", "Faster R-CNN"):
+        assert by_name[name][1] > 2 * MOBILE_TOPS_BUDGET
+        assert by_name[name][2] > 70.0
+    # Tiny YOLO fits the budget at a substantial accuracy penalty vs YOLOv2.
+    assert by_name["Tiny YOLO"][1] <= MOBILE_TOPS_BUDGET
+    assert by_name["YOLOv2"][2] - by_name["Tiny YOLO"][2] > 15.0

@@ -1,0 +1,46 @@
+"""Fig. 9a: detection average precision vs IoU threshold.
+
+Runs the full Euphrates pipeline (ISP block matching + extrapolation +
+calibrated YOLOv2 / Tiny YOLO backends) over the in-house-like detection
+dataset and reproduces the figure's qualitative shape: EW-2/EW-4 track the
+YOLOv2 baseline closely, accuracy degrades slowly as EW grows, and Tiny YOLO
+is less accurate than even EW-32.
+"""
+
+from __future__ import annotations
+
+from repro.harness import figure9a_detection_precision, format_table
+
+from conftest import EW_SWEEP, run_once
+
+
+def test_fig9a_detection_precision(benchmark, detection_dataset):
+    result = run_once(
+        benchmark,
+        figure9a_detection_precision,
+        dataset=detection_dataset,
+        ew_values=EW_SWEEP,
+        seed=1,
+    )
+    print()
+    print(format_table(result.headers(), result.rows()))
+
+    baseline = result.at("YOLOv2", 0.5)
+    ew2 = result.at("EW-2", 0.5)
+    ew4 = result.at("EW-4", 0.5)
+    ew32 = result.at("EW-32", 0.5)
+    tiny = result.at("TinyYOLO", 0.5)
+
+    # Paper: EW-2 loses only ~0.6% AP at IoU 0.5; EW-4 stays close too.
+    assert baseline - ew2 < 0.05
+    assert baseline - ew4 < 0.10
+    # Accuracy declines as the window grows.
+    assert ew2 >= ew32 - 0.02
+    # Tiny YOLO is less accurate than EW-32 despite running a CNN every frame.
+    assert tiny < ew32
+    # The AP-vs-IoU curves are non-increasing in the threshold.
+    for label in ("YOLOv2", "EW-2", "EW-32", "TinyYOLO"):
+        curve = result.curves[label]
+        thresholds = sorted(curve)
+        values = [curve[t] for t in thresholds]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))

@@ -1,0 +1,51 @@
+"""Fig. 9b: normalized SoC energy and achieved FPS for object detection.
+
+Evaluates the calibrated SoC model over the paper's configurations: baseline
+YOLOv2, the EW sweep, EW-8 with CPU-hosted extrapolation, and Tiny YOLO.
+The headline claims: EW-2 doubles the frame rate (17 -> ~35 FPS) and saves
+~45% energy; EW-4 reaches the 60 FPS real-time target at ~66% savings;
+software extrapolation negates most of the benefit; Tiny YOLO costs more
+energy than EW-32.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import figure9b_detection_energy
+from repro.harness.experiments import EnergyExperimentResult
+from repro.harness.reporting import format_table
+
+from conftest import EW_SWEEP, run_once
+
+
+def test_fig9b_detection_energy_and_fps(benchmark):
+    result: EnergyExperimentResult = run_once(
+        benchmark, figure9b_detection_energy, ew_values=EW_SWEEP, num_frames=7264
+    )
+    print()
+    print(format_table(result.headers(), result.rows()))
+
+    baseline = result.breakdowns["YOLOv2"]
+    ew2 = result.breakdowns["EW-2"]
+    ew4 = result.breakdowns["EW-4"]
+    ew8 = result.breakdowns["EW-8"]
+    ew32 = result.breakdowns["EW-32"]
+    ew8_cpu = result.breakdowns["EW-8@CPU"]
+    tiny = result.breakdowns["TinyYOLO"]
+
+    # Baseline YOLOv2 falls far short of real time (paper: ~17 FPS).
+    assert 14.0 <= baseline.fps <= 22.0
+    # EW-2 doubles the detection rate and saves ~45% energy.
+    assert ew2.fps == pytest.approx(2 * baseline.fps, rel=0.05)
+    assert 0.35 <= ew2.energy_saving_vs(baseline) <= 0.60
+    # EW-4 reaches the 60 FPS camera rate at ~66% savings.
+    assert ew4.fps == pytest.approx(60.0, rel=0.01)
+    assert 0.55 <= ew4.energy_saving_vs(baseline) <= 0.80
+    # Extrapolating beyond EW-8 gives only marginal additional savings.
+    assert result.normalized_energy("EW-8") - result.normalized_energy("EW-32") < 0.10
+    # Hosting extrapolation on the CPU negates the benefit (costs ~EW-4).
+    assert ew8_cpu.energy_per_frame_j > 1.3 * ew8.energy_per_frame_j
+    assert ew8_cpu.energy_per_frame_j == pytest.approx(ew4.energy_per_frame_j, rel=0.30)
+    # Tiny YOLO burns more energy than EW-32.
+    assert tiny.energy_per_frame_j > 1.3 * ew32.energy_per_frame_j

@@ -1,0 +1,37 @@
+"""Fig. 9c: arithmetic operations and SoC memory traffic per frame.
+
+Checks that replacing inferences with extrapolation shrinks both compute and
+memory traffic: a YOLOv2 I-frame costs tens of GOPs and ~646 MB of DRAM
+traffic, whereas an E-frame costs ~10 K operations and only the frame-buffer
+and MV-metadata traffic (~20 MB at the SoC level).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import figure9c_compute_memory, format_table
+
+from conftest import EW_SWEEP, run_once
+
+
+def test_fig9c_compute_and_memory_per_frame(benchmark):
+    rows = run_once(benchmark, figure9c_compute_memory, ew_values=EW_SWEEP, num_frames=7264)
+    print()
+    print(format_table(["Config", "GOPs/frame", "Traffic MB/frame"], rows))
+
+    ops = {label: value for label, value, _traffic in rows}
+    traffic = {label: value for label, _ops, value in rows}
+
+    # Paper: YOLOv2 needs ~57 GOPs/frame; our 480p layer model gives ~52.
+    assert ops["YOLOv2"] == pytest.approx(57.0, rel=0.2)
+    # Compute per frame scales inversely with the extrapolation window.
+    assert ops["EW-2"] == pytest.approx(ops["YOLOv2"] / 2, rel=0.02)
+    assert ops["EW-32"] < 0.05 * ops["YOLOv2"]
+
+    # Paper: each I-frame moves ~646 MB; E-frames only ~23 MB.
+    assert traffic["YOLOv2"] == pytest.approx(646.0, rel=0.2)
+    assert traffic["EW-32"] < 0.1 * traffic["YOLOv2"]
+    # Monotonic decrease across the sweep.
+    ordered = [traffic["YOLOv2"]] + [traffic[f"EW-{w}"] for w in EW_SWEEP]
+    assert all(a > b for a, b in zip(ordered, ordered[1:]))

@@ -1,0 +1,28 @@
+"""Table 1: the modeled vision SoC configuration."""
+
+from __future__ import annotations
+
+from repro.harness import format_table, table1_soc_configuration
+from repro.soc import SoCConfig
+
+from conftest import run_once
+
+
+def test_table1_soc_configuration(benchmark):
+    rows = run_once(benchmark, table1_soc_configuration)
+    print()
+    print(format_table(["Component", "Specification"], rows))
+
+    components = dict(rows)
+    assert "24x24 systolic MAC array" in components["NN Accelerator (NNX)"]
+    assert "1.5 MB" in components["NN Accelerator (NNX)"]
+    assert "4-wide SIMD" in components["Motion Controller (MC)"]
+    assert "8 KB" in components["Motion Controller (MC)"]
+    assert "LPDDR3" in components["DRAM"]
+    assert "25.6 GB/s" in components["DRAM"]
+
+    config = SoCConfig()
+    # Derived headline numbers from Sec. 5.1.
+    assert abs(config.nnx.peak_tops - 1.152) < 1e-6
+    assert abs(config.nnx.tops_per_watt - 1.77) < 0.05
+    assert abs(config.motion_controller.active_power_w - 0.0022) < 1e-9

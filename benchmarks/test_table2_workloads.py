@@ -1,0 +1,34 @@
+"""Table 2: benchmark summary — networks, GOPS at 60 FPS, dataset sizes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import format_table, table2_workloads
+from repro.soc import SoCConfig
+
+from conftest import run_once
+
+
+def test_table2_workloads(benchmark, detection_dataset, tracking_dataset):
+    rows = run_once(benchmark, table2_workloads)
+    print()
+    print(format_table(["Domain", "Network", "GOPS @60FPS", "Benchmark", "Frames"], rows))
+
+    gops = {row[1]: row[2] for row in rows}
+    # Paper Table 2: YOLOv2 3423, Tiny YOLO 675, MDNet 635 GOPS at 60 FPS.
+    assert gops["YOLOv2"] == pytest.approx(3423, rel=0.15)
+    assert gops["TinyYOLO"] == pytest.approx(675, rel=0.15)
+    assert gops["MDNet"] == pytest.approx(635, rel=0.15)
+
+    # Only the baseline accelerator's 1.15 TOPS peak accommodates Tiny YOLO
+    # and MDNet at 60 FPS; YOLOv2 exceeds it (the paper's framing).
+    peak_gops = SoCConfig().nnx.peak_tops * 1000.0
+    assert gops["YOLOv2"] > peak_gops
+    assert gops["TinyYOLO"] < peak_gops
+    assert gops["MDNet"] < peak_gops
+
+    # The generated datasets follow the paper's structure (multi-object
+    # detection clips, single-target tracking sequences).
+    assert detection_dataset.sequences[0].average_objects_per_frame() > 3.0
+    assert all(len(seq.object_ids) == 1 for seq in tracking_dataset)

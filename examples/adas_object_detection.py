@@ -1,0 +1,87 @@
+"""ADAS-style continuous object detection (the paper's Sec. 6.1 scenario).
+
+An advanced driver-assistance system must detect vehicles and pedestrians on
+every frame of a 60 FPS camera, but a full YOLOv2 inference takes ~3x longer
+than a frame period on a mobile accelerator.  This example shows how
+Euphrates closes the gap: it sweeps the extrapolation window, reporting
+detection accuracy, achieved frame rate, and the SoC energy breakdown, and
+compares against the conventional alternative of truncating the network
+(Tiny YOLO).
+
+Run with:  python examples/adas_object_detection.py
+"""
+
+from __future__ import annotations
+
+from repro import VisionSoC, build_pipeline, detection_backend_for
+from repro.eval import average_precision
+from repro.harness.reporting import format_table
+from repro.nn.models import build_tiny_yolo, build_yolo_v2
+from repro.video import build_detection_dataset
+
+
+def main() -> None:
+    # Multi-object street-scene-like clips: ~6 objects per frame.
+    dataset = build_detection_dataset(num_sequences=3, frames_per_sequence=32)
+    soc = VisionSoC()
+    yolo = build_yolo_v2()
+    tiny = build_tiny_yolo()
+
+    rows = []
+    baseline = None
+    configurations = [
+        ("YOLOv2 (baseline)", "yolov2", 1),
+        ("Euphrates EW-2", "yolov2", 2),
+        ("Euphrates EW-4", "yolov2", 4),
+        ("Euphrates EW-8", "yolov2", 8),
+        ("Tiny YOLO", "tinyyolo", 1),
+    ]
+    for label, backend_name, window in configurations:
+        pipeline = build_pipeline(
+            detection_backend_for(backend_name, seed=1), extrapolation_window=window
+        )
+        results = pipeline.run_dataset(dataset)
+        accuracy = average_precision(results, dataset, iou_threshold=0.5)
+
+        network = tiny if backend_name == "tinyyolo" else yolo
+        breakdown = soc.evaluate_results(network, results, label=label)
+        if baseline is None:
+            baseline = breakdown
+
+        rows.append(
+            [
+                label,
+                round(accuracy, 3),
+                round(breakdown.fps, 1),
+                round(breakdown.normalized_to(baseline), 2),
+                round(breakdown.frontend_energy_per_frame_j * 1e3, 2),
+                round(breakdown.memory_energy_per_frame_j * 1e3, 2),
+                round(breakdown.backend_energy_per_frame_j * 1e3, 2),
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "configuration",
+                "AP@0.5",
+                "FPS",
+                "norm. energy",
+                "frontend mJ/frame",
+                "memory mJ/frame",
+                "backend mJ/frame",
+            ],
+            rows,
+        )
+    )
+    print()
+    print(
+        "Takeaway: extrapolation (EW-2/4) reaches real-time frame rates with a"
+        " fraction of the energy while staying close to YOLOv2's accuracy,"
+        " whereas truncating the network (Tiny YOLO) sacrifices far more"
+        " accuracy for a smaller saving."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Battery-constrained drone tracking with the adaptive extrapolation window.
+
+A camera drone tracks a subject at 60 FPS without active cooling, so every
+millijoule matters (the paper's Sec. 6.2 motivation).  This example compares
+constant extrapolation windows against the adaptive mode (EW-A) on a mixed
+pool of easy and hard sequences, and breaks accuracy down by visual attribute
+to show where extrapolation struggles (fast motion, blur) and where it is
+essentially free (everything else).
+
+Run with:  python examples/drone_tracking_adaptive.py
+"""
+
+from __future__ import annotations
+
+from repro import VisionSoC, build_pipeline, tracking_backend_for
+from repro.eval import attribute_precision, success_rate
+from repro.harness.reporting import format_table
+from repro.nn.models import build_mdnet
+from repro.video import build_tracking_dataset
+from repro.video.attributes import FIGURE12_ATTRIBUTE_ORDER
+
+
+def main() -> None:
+    dataset = build_tracking_dataset(otb_sequences=8, vot_sequences=3, frames_per_sequence=36)
+    soc = VisionSoC()
+    mdnet = build_mdnet()
+
+    runs = {}
+    rows = []
+    baseline = None
+    for label, window in (
+        ("MDNet every frame", 1),
+        ("EW-2", 2),
+        ("EW-4", 4),
+        ("EW-A (adaptive)", "adaptive"),
+    ):
+        pipeline = build_pipeline(tracking_backend_for("mdnet", seed=1), extrapolation_window=window)
+        results = pipeline.run_dataset(dataset)
+        runs[label] = results
+
+        accuracy = success_rate(results, dataset, iou_threshold=0.5)
+        breakdown = soc.evaluate_results(mdnet, results, label=label)
+        if baseline is None:
+            baseline = breakdown
+        rows.append(
+            [
+                label,
+                round(accuracy, 3),
+                round(breakdown.inference_rate, 2),
+                round(breakdown.normalized_to(baseline), 2),
+                round(1.0 - breakdown.normalized_to(baseline), 2),
+            ]
+        )
+
+    print(format_table(
+        ["configuration", "success@0.5", "inference rate", "norm. energy", "energy saving"], rows
+    ))
+
+    # Where does extrapolation lose accuracy?  (Fig. 12 of the paper.)
+    print()
+    print("Accuracy by visual attribute (baseline vs EW-2):")
+    baseline_breakdown = attribute_precision(runs["MDNet every frame"], dataset, 0.5)
+    euphrates_breakdown = attribute_precision(runs["EW-2"], dataset, 0.5)
+    attribute_rows = []
+    for attribute in FIGURE12_ATTRIBUTE_ORDER:
+        if attribute not in baseline_breakdown:
+            continue
+        attribute_rows.append(
+            [
+                attribute.display_name,
+                round(baseline_breakdown[attribute], 3),
+                round(euphrates_breakdown.get(attribute, 0.0), 3),
+            ]
+        )
+    print(format_table(["attribute", "MDNet", "EW-2"], attribute_rows))
+
+
+if __name__ == "__main__":
+    main()

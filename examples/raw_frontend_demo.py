@@ -1,0 +1,75 @@
+"""End-to-end demo of the functional frontend: RAW sensor to vision result.
+
+This example uses no simulated CNN at all.  It pushes a synthetic scene
+through the camera-sensor model (Bayer mosaic, noise, dead pixels) and the
+full ISP pipeline (dead-pixel correction, demosaic, white balance, temporal
+denoise with block matching), then drives a classical NCC template tracker on
+I-frames and the Euphrates motion extrapolator on E-frames — exactly the
+dataflow of Fig. 5, with the motion vectors travelling through the
+frame-buffer metadata.
+
+Run with:  python examples/raw_frontend_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.extrapolation import MotionExtrapolator
+from repro.isp.pipeline import ISPPipeline
+from repro.isp.sensor import CameraSensor
+from repro.nn.classical import NCCTemplateTracker, NCCTrackerConfig
+from repro.video import SequenceConfig, SequenceGenerator
+
+
+def main() -> None:
+    sequence = SequenceGenerator(
+        SequenceConfig(name="raw_demo", num_frames=24, seed=5)
+    ).generate()
+    target = sequence.primary_object_id
+
+    sensor = CameraSensor(seed=0)
+    isp = ISPPipeline()
+    tracker = NCCTemplateTracker(NCCTrackerConfig(search_radius=10))
+    extrapolator = MotionExtrapolator(frame_width=sequence.width, frame_height=sequence.height)
+
+    current_box = None
+    ious = []
+    print("frame  kind           IoU    MV metadata (bytes)")
+    for frame_index in range(sequence.num_frames):
+        raw = sensor.capture(sequence.frame(frame_index), frame_index)
+        processed = isp.process(raw)
+        entry = isp.frame_buffer.latest()
+
+        if frame_index == 0:
+            current_box = sequence.truth_for(target)[0]
+            tracker.initialize(processed.luma, current_box)
+            print(f"{frame_index:>5}  initialise      -")
+            continue
+
+        if frame_index % 2 == 1 and processed.motion_field is not None:
+            kind = "extrapolation"
+            result = extrapolator.extrapolate_roi(current_box, processed.motion_field)
+            current_box = result.box
+        else:
+            kind = "inference(NCC)"
+            current_box = tracker.track(processed.luma).box
+
+        truth = sequence.truth_for(target)[frame_index]
+        iou = current_box.iou(truth) if truth is not None else float("nan")
+        if truth is not None:
+            ious.append(iou)
+        print(f"{frame_index:>5}  {kind:<14} {iou:0.3f}  {entry.motion_metadata_bytes:>8}")
+
+    print()
+    print(f"mean IoU over the clip: {np.mean(ious):.3f}")
+    print(
+        f"frame-buffer traffic: {isp.frame_buffer.bytes_written / 1e6:.2f} MB written, "
+        f"MV metadata is {isp.frame_buffer.latest().motion_metadata_bytes} bytes/frame "
+        f"({isp.frame_buffer.latest().motion_metadata_bytes / isp.frame_buffer.latest().pixel_bytes:.3%} "
+        "of the pixel data)"
+    )
+
+
+if __name__ == "__main__":
+    main()

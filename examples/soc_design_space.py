@@ -1,0 +1,124 @@
+"""SoC-level design-space exploration with the analytical energy model.
+
+Architects use this kind of sweep before committing to RTL: how does the
+energy split move as the extrapolation window grows?  What does hosting the
+extrapolation on the CPU cost?  How sensitive is the result to the DRAM
+energy per byte or to a beefier accelerator?  Everything here runs on the
+analytical SoC model, so the whole exploration takes milliseconds.
+
+Run with:  python examples/soc_design_space.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.harness.reporting import format_table
+from repro.nn.models import build_yolo_v2
+from repro.soc import SoCConfig, VisionSoC
+from repro.soc.config import DRAMConfig, NNXConfig
+
+
+def sweep_extrapolation_window() -> None:
+    soc = VisionSoC()
+    yolo = build_yolo_v2()
+    baseline = soc.evaluate_constant_ew(yolo, 1, rois_per_frame=6.0)
+    rows = []
+    for window in (1, 2, 4, 8, 16, 32):
+        on_ip = soc.evaluate_constant_ew(yolo, window, rois_per_frame=6.0)
+        on_cpu = soc.evaluate_constant_ew(
+            yolo, window, rois_per_frame=6.0, extrapolation_on_cpu=True
+        )
+        rows.append(
+            [
+                f"EW-{window}",
+                round(on_ip.fps, 1),
+                round(on_ip.normalized_to(baseline), 3),
+                round(on_cpu.normalized_to(baseline), 3),
+                round(on_ip.frontend_energy_per_frame_j * 1e3, 2),
+                round(on_ip.memory_energy_per_frame_j * 1e3, 2),
+                round(on_ip.backend_energy_per_frame_j * 1e3, 2),
+            ]
+        )
+    print("Extrapolation-window sweep (YOLOv2 detection, 6 ROIs/frame):")
+    print(
+        format_table(
+            [
+                "config",
+                "FPS",
+                "norm. energy (MC IP)",
+                "norm. energy (CPU)",
+                "frontend mJ",
+                "memory mJ",
+                "backend mJ",
+            ],
+            rows,
+        )
+    )
+
+
+def sweep_accelerator_size() -> None:
+    yolo = build_yolo_v2()
+    rows = []
+    for dimension in (16, 24, 32, 48):
+        scale = (dimension / 24) ** 2
+        nnx = NNXConfig(
+            array_rows=dimension,
+            array_cols=dimension,
+            active_power_w=0.651 * scale,
+            area_mm2=1.58 * scale,
+        )
+        soc = VisionSoC(SoCConfig(nnx=nnx))
+        baseline = soc.evaluate_constant_ew(yolo, 1, rois_per_frame=6.0)
+        ew4 = soc.evaluate_constant_ew(yolo, 4, rois_per_frame=6.0)
+        rows.append(
+            [
+                f"{dimension}x{dimension}",
+                round(nnx.peak_tops, 2),
+                round(baseline.fps, 1),
+                round(ew4.fps, 1),
+                round(ew4.energy_saving_vs(baseline), 2),
+            ]
+        )
+    print()
+    print("Accelerator sizing (energy saving of EW-4 vs inference-every-frame):")
+    print(
+        format_table(
+            ["MAC array", "peak TOPS", "baseline FPS", "EW-4 FPS", "EW-4 energy saving"], rows
+        )
+    )
+
+
+def sweep_dram_energy() -> None:
+    yolo = build_yolo_v2()
+    rows = []
+    for energy_per_byte in (20.0, 45.0, 90.0):
+        soc = VisionSoC(SoCConfig(dram=DRAMConfig(energy_per_byte_pj=energy_per_byte)))
+        baseline = soc.evaluate_constant_ew(yolo, 1, rois_per_frame=6.0)
+        ew4 = soc.evaluate_constant_ew(yolo, 4, rois_per_frame=6.0)
+        rows.append(
+            [
+                f"{energy_per_byte:.0f} pJ/B",
+                round(baseline.memory_energy_per_frame_j * 1e3, 2),
+                round(ew4.memory_energy_per_frame_j * 1e3, 2),
+                round(ew4.energy_saving_vs(baseline), 2),
+            ]
+        )
+    print()
+    print("DRAM energy-per-byte sensitivity:")
+    print(
+        format_table(
+            ["DRAM energy", "baseline memory mJ/frame", "EW-4 memory mJ/frame", "EW-4 saving"],
+            rows,
+        )
+    )
+
+
+def main() -> None:
+    sweep_extrapolation_window()
+    sweep_accelerator_size()
+    sweep_dram_energy()
+
+
+if __name__ == "__main__":
+    main()

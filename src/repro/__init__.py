@@ -1,0 +1,71 @@
+"""Euphrates: algorithm-SoC co-design for low-power mobile continuous vision.
+
+A full Python reproduction of the ISCA 2018 paper by Zhu, Samajdar, Mattina
+and Whatmough.  The library is organised as:
+
+* :mod:`repro.core` -- the Euphrates algorithm (motion extrapolation,
+  extrapolation-window control, the end-to-end pipeline) and shared types.
+* :mod:`repro.video` -- synthetic continuous-video substrate with ground truth.
+* :mod:`repro.motion` -- block-matching motion estimation (ES / TSS).
+* :mod:`repro.isp` -- camera sensor and ISP pipeline (the MV producer).
+* :mod:`repro.nn` -- CNN workload models (YOLOv2, Tiny YOLO, MDNet) and
+  detector/tracker backends.
+* :mod:`repro.soc` -- the mobile-SoC performance/energy model (NNX systolic
+  accelerator, motion-controller IP, DRAM, CPU).
+* :mod:`repro.eval` -- detection AP and tracking success-rate metrics.
+* :mod:`repro.harness` -- experiment runners for every table and figure.
+
+Quick start::
+
+    from repro import build_pipeline, tracking_backend_for
+    from repro.video import build_otb_like_dataset
+    from repro.eval import success_rate
+
+    dataset = build_otb_like_dataset(num_sequences=4)
+    pipeline = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=2)
+    results = pipeline.run_dataset(dataset)
+    print(success_rate(results, dataset, iou_threshold=0.5))
+"""
+
+from .core import (
+    AdaptiveWindowController,
+    BoundingBox,
+    ConstantWindowController,
+    Detection,
+    EuphratesConfig,
+    EuphratesPipeline,
+    ExtrapolationConfig,
+    FrameKind,
+    FrameResult,
+    MotionExtrapolator,
+    MotionVector,
+    SequenceResult,
+    build_pipeline,
+    detection_backend_for,
+    tracking_backend_for,
+)
+from .soc import FrameSchedule, SoCConfig, VisionSoC
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "BoundingBox",
+    "MotionVector",
+    "Detection",
+    "FrameKind",
+    "FrameResult",
+    "SequenceResult",
+    "ExtrapolationConfig",
+    "MotionExtrapolator",
+    "ConstantWindowController",
+    "AdaptiveWindowController",
+    "EuphratesConfig",
+    "EuphratesPipeline",
+    "build_pipeline",
+    "detection_backend_for",
+    "tracking_backend_for",
+    "VisionSoC",
+    "SoCConfig",
+    "FrameSchedule",
+]

@@ -1,0 +1,58 @@
+"""Euphrates core: motion-extrapolated continuous vision.
+
+This package implements the paper's primary contribution — the algorithm
+that replaces most per-frame CNN inferences with motion-vector extrapolation
+(Sec. 3) — plus the shared geometry and result types used throughout the
+library.
+"""
+
+from .geometry import BoundingBox, MotionVector, Point, ZERO_MOTION, mean_iou
+from .types import Detection, FrameKind, FrameResult, SequenceResult
+from .extrapolation import (
+    ExtrapolationConfig,
+    ExtrapolationResult,
+    MotionExtrapolator,
+    RoiMotionState,
+)
+from .window import (
+    AdaptiveWindowController,
+    ConstantWindowController,
+    WindowController,
+)
+from .backends import (
+    CNNDetectionBackend,
+    CNNTrackingBackend,
+    InferenceBackend,
+    NCCTrackingBackend,
+    detection_backend_for,
+    tracking_backend_for,
+)
+from .pipeline import EuphratesConfig, EuphratesPipeline, build_pipeline
+
+__all__ = [
+    "BoundingBox",
+    "MotionVector",
+    "Point",
+    "ZERO_MOTION",
+    "mean_iou",
+    "Detection",
+    "FrameKind",
+    "FrameResult",
+    "SequenceResult",
+    "ExtrapolationConfig",
+    "ExtrapolationResult",
+    "MotionExtrapolator",
+    "RoiMotionState",
+    "WindowController",
+    "ConstantWindowController",
+    "AdaptiveWindowController",
+    "InferenceBackend",
+    "CNNDetectionBackend",
+    "CNNTrackingBackend",
+    "NCCTrackingBackend",
+    "detection_backend_for",
+    "tracking_backend_for",
+    "EuphratesConfig",
+    "EuphratesPipeline",
+    "build_pipeline",
+]

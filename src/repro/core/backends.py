@@ -1,0 +1,199 @@
+"""Inference backends the Euphrates pipeline can drive on I-frames.
+
+The motion controller treats the inference engine as a slave IP behind a
+register interface (Sec. 4.3), so the pipeline is equally happy driving a
+simulated CNN (the calibrated YOLOv2 / Tiny YOLO / MDNet stand-ins) or a real
+pixel-domain algorithm (the NCC template tracker).  Each backend carries the
+:class:`~repro.nn.models.NetworkSpec` describing its compute cost so the SoC
+model can price its I-frames.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, List, Optional
+
+import numpy as np
+
+from ..nn.classical import NCCTemplateTracker, NCCTrackerConfig
+from ..nn.detector import SimulatedCNNDetector
+from ..nn.models import NetworkSpec, build_mdnet, build_tiny_yolo, build_yolo_v2
+from ..nn.profiles import (
+    AccuracyProfile,
+    MDNET_PROFILE,
+    TINY_YOLO_PROFILE,
+    YOLO_V2_PROFILE,
+)
+from ..nn.tracker import SimulatedCNNTracker
+from .types import Detection
+
+if TYPE_CHECKING:  # imported lazily to avoid a circular package import
+    from ..video.sequence import VideoSequence
+
+
+class InferenceBackend(ABC):
+    """A vision algorithm the pipeline invokes on I-frames."""
+
+    #: Compute model of the network this backend represents.
+    network: NetworkSpec
+
+    @property
+    def name(self) -> str:
+        return self.network.name
+
+    @abstractmethod
+    def start_sequence(self, sequence: "VideoSequence") -> None:
+        """Reset per-sequence state (called before the first frame)."""
+
+    @abstractmethod
+    def infer(
+        self, frame_index: int, luma: np.ndarray, sequence: "VideoSequence"
+    ) -> List[Detection]:
+        """Produce the vision result for one I-frame."""
+
+
+class CNNDetectionBackend(InferenceBackend):
+    """Multi-object detection with a simulated CNN (YOLOv2 / Tiny YOLO)."""
+
+    def __init__(
+        self,
+        network: Optional[NetworkSpec] = None,
+        profile: Optional[AccuracyProfile] = None,
+        seed: int = 0,
+    ) -> None:
+        self.network = network or build_yolo_v2()
+        self.profile = profile or YOLO_V2_PROFILE
+        self.seed = seed
+        self._detector: Optional[SimulatedCNNDetector] = None
+        self._sequence_name = ""
+
+    def start_sequence(self, sequence: "VideoSequence") -> None:
+        self._sequence_name = sequence.name
+        self._detector = SimulatedCNNDetector(
+            network=self.network,
+            profile=self.profile,
+            seed=self.seed,
+            frame_width=sequence.width,
+            frame_height=sequence.height,
+        )
+
+    def infer(
+        self, frame_index: int, luma: np.ndarray, sequence: "VideoSequence"
+    ) -> List[Detection]:
+        if self._detector is None:
+            raise RuntimeError("start_sequence must be called before infer")
+        truth = sequence.truth_detections(frame_index)
+        return self._detector.detect(
+            frame_index,
+            truth,
+            sequence_name=self._sequence_name,
+            frame_width=sequence.width,
+            frame_height=sequence.height,
+        )
+
+
+class CNNTrackingBackend(InferenceBackend):
+    """Single-target tracking with a simulated CNN tracker (MDNet)."""
+
+    def __init__(
+        self,
+        network: Optional[NetworkSpec] = None,
+        profile: Optional[AccuracyProfile] = None,
+        seed: int = 0,
+    ) -> None:
+        self.network = network or build_mdnet()
+        self.profile = profile or MDNET_PROFILE
+        self.seed = seed
+        self._tracker: Optional[SimulatedCNNTracker] = None
+        self._target_id: int = 0
+
+    def start_sequence(self, sequence: "VideoSequence") -> None:
+        self._tracker = SimulatedCNNTracker(
+            network=self.network, profile=self.profile, seed=self.seed
+        )
+        self._target_id = sequence.primary_object_id
+        first_box = sequence.truth_for(self._target_id)[0]
+        if first_box is None:
+            raise ValueError(
+                f"sequence {sequence.name} has no first-frame annotation for tracking"
+            )
+        self._tracker.initialize(
+            first_box,
+            label=sequence.labels.get(self._target_id, "target"),
+            object_id=self._target_id,
+        )
+
+    def infer(
+        self, frame_index: int, luma: np.ndarray, sequence: "VideoSequence"
+    ) -> List[Detection]:
+        if self._tracker is None:
+            raise RuntimeError("start_sequence must be called before infer")
+        truth = sequence.truth_for(self._target_id)[frame_index]
+        detection = self._tracker.track(frame_index, truth, sequence_name=sequence.name)
+        return [detection]
+
+
+class NCCTrackingBackend(InferenceBackend):
+    """Single-target tracking on real pixels (classical NCC template search)."""
+
+    def __init__(
+        self,
+        config: Optional[NCCTrackerConfig] = None,
+        network: Optional[NetworkSpec] = None,
+    ) -> None:
+        # The classical tracker's compute is negligible; the associated
+        # network spec is only used when someone prices it on the NNX, so
+        # default to the smallest network we model.
+        self.network = network or build_tiny_yolo()
+        self._config = config
+        self._tracker: Optional[NCCTemplateTracker] = None
+        self._target_id: int = 0
+
+    @property
+    def name(self) -> str:
+        return "NCC"
+
+    def start_sequence(self, sequence: "VideoSequence") -> None:
+        self._tracker = NCCTemplateTracker(self._config)
+        self._target_id = sequence.primary_object_id
+        first_box = sequence.truth_for(self._target_id)[0]
+        if first_box is None:
+            raise ValueError(
+                f"sequence {sequence.name} has no first-frame annotation for tracking"
+            )
+        self._tracker.initialize(sequence.frame(0).astype(np.float64), first_box)
+
+    def infer(
+        self, frame_index: int, luma: np.ndarray, sequence: "VideoSequence"
+    ) -> List[Detection]:
+        if self._tracker is None:
+            raise RuntimeError("start_sequence must be called before infer")
+        detection = self._tracker.track(np.asarray(luma, dtype=np.float64))
+        return [
+            Detection(
+                box=detection.box,
+                label=detection.label,
+                score=detection.score,
+                object_id=self._target_id,
+            )
+        ]
+
+
+def detection_backend_for(network_name: str, seed: int = 0) -> CNNDetectionBackend:
+    """Factory for the detection backends used throughout the benchmarks."""
+    key = network_name.lower().replace("_", "").replace("-", "").replace(" ", "")
+    if key == "yolov2":
+        return CNNDetectionBackend(build_yolo_v2(), YOLO_V2_PROFILE, seed=seed)
+    if key == "tinyyolo":
+        return CNNDetectionBackend(build_tiny_yolo(), TINY_YOLO_PROFILE, seed=seed)
+    raise KeyError(f"unknown detection network '{network_name}'")
+
+
+def tracking_backend_for(network_name: str = "mdnet", seed: int = 0) -> InferenceBackend:
+    """Factory for the tracking backends used throughout the benchmarks."""
+    key = network_name.lower().replace("_", "").replace("-", "").replace(" ", "")
+    if key == "mdnet":
+        return CNNTrackingBackend(build_mdnet(), MDNET_PROFILE, seed=seed)
+    if key == "ncc":
+        return NCCTrackingBackend()
+    raise KeyError(f"unknown tracking backend '{network_name}'")

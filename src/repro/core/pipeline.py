@@ -1,0 +1,203 @@
+"""The end-to-end Euphrates continuous-vision pipeline.
+
+For every captured frame the pipeline runs the ISP (which produces pixels
+plus motion-vector metadata), asks the window controller whether this is an
+I-frame or an E-frame, and then either drives the inference backend (I-frame)
+or extrapolates the previous results with the motion controller's algorithm
+(E-frame).  On I-frames it also measures how much the inference result
+disagrees with what extrapolation would have predicted, which feeds the
+adaptive-EW controller.
+
+The same class serves both evaluation scenarios: object detection (multiple
+ROIs per frame, YOLOv2-class backends) and visual tracking (a single target,
+MDNet-class backends).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..isp.pipeline import ISPConfig, ISPPipeline
+from ..motion.block_matching import BlockMatchingConfig
+from .backends import InferenceBackend
+
+if TYPE_CHECKING:  # imported lazily to avoid a circular package import
+    from ..video.datasets import Dataset
+    from ..video.sequence import VideoSequence
+from .extrapolation import ExtrapolationConfig, MotionExtrapolator, RoiMotionState
+from .geometry import BoundingBox
+from .types import Detection, FrameKind, FrameResult, SequenceResult
+from .window import ConstantWindowController, WindowController
+
+
+@dataclass(frozen=True)
+class EuphratesConfig:
+    """Algorithm-level configuration of the pipeline."""
+
+    block_matching: BlockMatchingConfig = BlockMatchingConfig()
+    extrapolation: ExtrapolationConfig = ExtrapolationConfig()
+    #: When False the ISP discards its motion vectors (conventional SoC);
+    #: every frame then degenerates to an I-frame regardless of the window
+    #: controller, which models the baseline system.
+    expose_motion_vectors: bool = True
+
+
+class EuphratesPipeline:
+    """Motion-extrapolated continuous vision over a video sequence."""
+
+    def __init__(
+        self,
+        backend: InferenceBackend,
+        window_controller: Optional[WindowController] = None,
+        config: Optional[EuphratesConfig] = None,
+    ) -> None:
+        self.backend = backend
+        self.window_controller = window_controller or ConstantWindowController(2)
+        self.config = config or EuphratesConfig()
+        #: Total extrapolation operations across all processed frames.
+        self.total_extrapolation_ops = 0.0
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, sequence: "VideoSequence") -> SequenceResult:
+        """Process one video sequence and return per-frame results."""
+        isp = ISPPipeline(
+            ISPConfig(
+                expose_motion_vectors=self.config.expose_motion_vectors,
+                block_matching=self.config.block_matching,
+            )
+        )
+        extrapolator = MotionExtrapolator(
+            self.config.extrapolation,
+            frame_width=sequence.width,
+            frame_height=sequence.height,
+        )
+        self.backend.start_sequence(sequence)
+
+        states: Dict[int, RoiMotionState] = {}
+        last_detections: List[Detection] = []
+        frames_since_inference = 0
+        frames: List[FrameResult] = []
+
+        for frame_index, frame in sequence.iter_frames():
+            processed = isp.process_luma(frame.astype(np.float64), frame_index)
+            motion_field = processed.motion_field
+
+            can_extrapolate = motion_field is not None and bool(last_detections)
+            must_infer = (
+                frame_index == 0
+                or not can_extrapolate
+                or self.window_controller.should_infer(frames_since_inference)
+            )
+
+            if must_infer:
+                predicted = None
+                if can_extrapolate:
+                    predicted = extrapolator.extrapolate_detections(
+                        last_detections, motion_field, states
+                    )
+                detections = self.backend.infer(frame_index, processed.luma, sequence)
+                if predicted is not None:
+                    disagreement = self._disagreement(detections, predicted)
+                    self.window_controller.observe_disagreement(disagreement)
+                kind = FrameKind.INFERENCE
+                frames_since_inference = 0
+            else:
+                detections = extrapolator.extrapolate_detections(
+                    last_detections, motion_field, states
+                )
+                kind = FrameKind.EXTRAPOLATION
+                frames_since_inference += 1
+
+            last_detections = detections
+            frames.append(
+                FrameResult(
+                    frame_index=frame_index,
+                    kind=kind,
+                    detections=list(detections),
+                    window_size=self.window_controller.current_window,
+                )
+            )
+
+        self.total_extrapolation_ops += extrapolator.total_operations
+        return SequenceResult(sequence_name=sequence.name, frames=frames)
+
+    def run_dataset(
+        self, dataset: "Dataset | Iterable[VideoSequence]"
+    ) -> List[SequenceResult]:
+        """Process every sequence of a dataset."""
+        sequences = dataset.sequences if hasattr(dataset, "sequences") else list(dataset)
+        return [self.run(sequence) for sequence in sequences]
+
+    # ------------------------------------------------------------------
+    # Adaptive-mode feedback
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _disagreement(
+        inferred: Sequence[Detection], predicted: Sequence[Detection]
+    ) -> float:
+        """Mean ``1 - IoU`` between inference results and extrapolated ones.
+
+        Pairs are matched by object id when available, otherwise greedily by
+        IoU.  When there is nothing to compare the disagreement is 0 (no
+        evidence that extrapolation was wrong).
+        """
+        if not inferred or not predicted:
+            return 0.0
+
+        by_id = {d.object_id: d for d in predicted if d.object_id is not None}
+        unmatched = [d for d in predicted if d.object_id is None]
+        disagreements: List[float] = []
+        for detection in inferred:
+            counterpart = None
+            if detection.object_id is not None and detection.object_id in by_id:
+                counterpart = by_id[detection.object_id]
+            elif unmatched:
+                counterpart = max(unmatched, key=lambda p: p.box.iou(detection.box))
+            if counterpart is None:
+                continue
+            disagreements.append(1.0 - detection.box.iou(counterpart.box))
+        if not disagreements:
+            return 0.0
+        return float(np.mean(disagreements))
+
+
+# ----------------------------------------------------------------------
+# Convenience factories used by examples and benchmarks
+# ----------------------------------------------------------------------
+def build_pipeline(
+    backend: InferenceBackend,
+    extrapolation_window: int | str = 2,
+    block_size: int = 16,
+    search_range: int = 7,
+    exhaustive_search: bool = False,
+    sub_roi_grid: tuple = (2, 2),
+    expose_motion_vectors: bool = True,
+) -> EuphratesPipeline:
+    """Assemble a pipeline from the most commonly swept parameters.
+
+    ``extrapolation_window`` accepts an integer (constant EW-N mode) or the
+    string ``"adaptive"`` (EW-A mode).
+    """
+    from ..motion.block_matching import SearchStrategy
+    from .window import AdaptiveWindowController
+
+    strategy = SearchStrategy.EXHAUSTIVE if exhaustive_search else SearchStrategy.THREE_STEP
+    config = EuphratesConfig(
+        block_matching=BlockMatchingConfig(
+            block_size=block_size, search_range=search_range, strategy=strategy
+        ),
+        extrapolation=ExtrapolationConfig(sub_roi_grid=sub_roi_grid),
+        expose_motion_vectors=expose_motion_vectors,
+    )
+    if isinstance(extrapolation_window, str):
+        if extrapolation_window.lower() not in {"adaptive", "ew-a", "a"}:
+            raise ValueError(f"unknown window mode '{extrapolation_window}'")
+        controller: WindowController = AdaptiveWindowController()
+    else:
+        controller = ConstantWindowController(int(extrapolation_window))
+    return EuphratesPipeline(backend=backend, window_controller=controller, config=config)

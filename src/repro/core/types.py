@@ -1,0 +1,109 @@
+"""Common result types shared across the detection / tracking pipelines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import List, Optional, Sequence
+
+from .geometry import BoundingBox
+
+
+class FrameKind(Enum):
+    """How the vision result for a frame was produced.
+
+    ``INFERENCE`` corresponds to the paper's I-frames (full CNN inference);
+    ``EXTRAPOLATION`` to E-frames (motion-vector extrapolation).
+    """
+
+    INFERENCE = "inference"
+    EXTRAPOLATION = "extrapolation"
+
+
+@dataclass(frozen=True)
+class Detection:
+    """A single detected (or extrapolated) object instance."""
+
+    box: BoundingBox
+    label: str = "object"
+    score: float = 1.0
+    object_id: Optional[int] = None
+    extrapolated: bool = False
+
+    def with_box(self, box: BoundingBox) -> "Detection":
+        """Return a copy of this detection with a different bounding box."""
+        return replace(self, box=box)
+
+    def as_extrapolated(self, box: BoundingBox) -> "Detection":
+        """Return an extrapolated copy of this detection at a new location."""
+        return replace(self, box=box, extrapolated=True)
+
+
+@dataclass
+class FrameResult:
+    """Vision output for one frame of a continuous video stream."""
+
+    frame_index: int
+    kind: FrameKind
+    detections: List[Detection] = field(default_factory=list)
+    #: Wall-clock latency of producing this result, in seconds (model time).
+    latency_s: float = 0.0
+    #: Extrapolation-window size in effect when this frame was processed.
+    window_size: int = 0
+
+    @property
+    def is_inference(self) -> bool:
+        return self.kind is FrameKind.INFERENCE
+
+    @property
+    def is_extrapolated(self) -> bool:
+        return self.kind is FrameKind.EXTRAPOLATION
+
+    def boxes(self) -> List[BoundingBox]:
+        """Bounding boxes of every detection in this frame."""
+        return [d.box for d in self.detections]
+
+    def best_for(self, truth: BoundingBox) -> Optional[Detection]:
+        """Return the detection with the highest IoU against ``truth``."""
+        if not self.detections:
+            return None
+        return max(self.detections, key=lambda d: d.box.iou(truth))
+
+
+@dataclass
+class SequenceResult:
+    """Vision output for an entire video sequence."""
+
+    sequence_name: str
+    frames: List[FrameResult] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __iter__(self):
+        return iter(self.frames)
+
+    @property
+    def inference_count(self) -> int:
+        """Number of frames that required a CNN inference."""
+        return sum(1 for f in self.frames if f.is_inference)
+
+    @property
+    def extrapolation_count(self) -> int:
+        """Number of frames produced by motion extrapolation."""
+        return sum(1 for f in self.frames if f.is_extrapolated)
+
+    @property
+    def inference_rate(self) -> float:
+        """Fraction of frames on which a CNN inference was triggered."""
+        if not self.frames:
+            return 0.0
+        return self.inference_count / len(self.frames)
+
+
+def merge_sequence_results(results: Sequence[SequenceResult]) -> List[FrameResult]:
+    """Concatenate the per-frame results of several sequences."""
+    frames: List[FrameResult] = []
+    for result in results:
+        frames.extend(result.frames)
+    return frames

@@ -1,0 +1,38 @@
+"""Accuracy metrics used by the paper's evaluation (Sec. 5.2).
+
+Object detection is scored with average precision (AP) as a function of the
+IoU threshold; visual tracking with the success rate (fraction of frames
+whose IoU against ground truth exceeds a threshold).  Both metrics are also
+available as full curves over the threshold axis, per sequence, and broken
+down by visual attribute (Fig. 12).
+"""
+
+from .matching import greedy_match
+from .detection import (
+    DetectionEvaluation,
+    average_precision,
+    precision_curve,
+    evaluate_detection,
+)
+from .tracking import (
+    TrackingEvaluation,
+    success_curve,
+    success_rate,
+    per_sequence_success,
+    evaluate_tracking,
+)
+from .attributes import attribute_precision
+
+__all__ = [
+    "greedy_match",
+    "DetectionEvaluation",
+    "average_precision",
+    "precision_curve",
+    "evaluate_detection",
+    "TrackingEvaluation",
+    "success_rate",
+    "success_curve",
+    "per_sequence_success",
+    "evaluate_tracking",
+    "attribute_precision",
+]

@@ -1,0 +1,38 @@
+"""Per-visual-attribute accuracy breakdown (Fig. 12)."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..core.types import SequenceResult
+from ..video.attributes import FIGURE12_ATTRIBUTE_ORDER, VisualAttribute
+from ..video.datasets import Dataset
+from .tracking import success_rate
+
+
+def attribute_precision(
+    results: Sequence[SequenceResult],
+    dataset: Dataset,
+    iou_threshold: float = 0.5,
+) -> Dict[VisualAttribute, float]:
+    """Tracking success rate restricted to sequences with each attribute.
+
+    Attributes with no matching sequences in the dataset are omitted, so the
+    caller can tell "not evaluated" apart from "zero accuracy".
+    """
+    results_by_name = {result.sequence_name: result for result in results}
+    breakdown: Dict[VisualAttribute, float] = {}
+    for attribute in FIGURE12_ATTRIBUTE_ORDER:
+        sequences = dataset.sequences_with(attribute)
+        if not sequences:
+            continue
+        subset_results = [
+            results_by_name[sequence.name]
+            for sequence in sequences
+            if sequence.name in results_by_name
+        ]
+        if not subset_results:
+            continue
+        subset = Dataset(name=f"{dataset.name}:{attribute.value}", sequences=sequences)
+        breakdown[attribute] = success_rate(subset_results, subset, iou_threshold)
+    return breakdown

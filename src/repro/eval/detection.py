@@ -1,0 +1,117 @@
+"""Object-detection accuracy metrics.
+
+The paper uses the average-precision definition of its Sec. 5.2: every
+detection across every frame is a true positive if its IoU with a matched
+ground-truth box exceeds the threshold, otherwise a false positive, and
+``AP = TP / (TP + FP)``.  Missed ground-truth objects reduce recall but the
+paper's headline metric is this precision-style AP, so we implement the same
+definition (and additionally report recall for completeness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.types import SequenceResult
+from ..video.datasets import Dataset
+from ..video.sequence import VideoSequence
+from .matching import greedy_match
+
+
+@dataclass(frozen=True)
+class DetectionEvaluation:
+    """Aggregate detection counts at one IoU threshold."""
+
+    true_positives: int
+    false_positives: int
+    total_ground_truth: int
+
+    @property
+    def average_precision(self) -> float:
+        """The paper's AP = TP / (TP + FP)."""
+        total = self.true_positives + self.false_positives
+        if total == 0:
+            return 0.0
+        return self.true_positives / total
+
+    @property
+    def recall(self) -> float:
+        if self.total_ground_truth == 0:
+            return 0.0
+        return self.true_positives / self.total_ground_truth
+
+
+def _pair_results_with_truth(
+    results: Sequence[SequenceResult], dataset: Dataset
+) -> Iterable[Tuple[SequenceResult, VideoSequence]]:
+    sequences_by_name = {sequence.name: sequence for sequence in dataset.sequences}
+    for result in results:
+        if result.sequence_name not in sequences_by_name:
+            raise KeyError(f"no sequence named '{result.sequence_name}' in dataset")
+        yield result, sequences_by_name[result.sequence_name]
+
+
+def evaluate_detection(
+    results: Sequence[SequenceResult],
+    dataset: Dataset,
+    iou_threshold: float = 0.5,
+) -> DetectionEvaluation:
+    """Score detection results against a dataset at one IoU threshold."""
+    true_positives = 0
+    false_positives = 0
+    total_truth = 0
+    for result, sequence in _pair_results_with_truth(results, dataset):
+        for frame in result.frames:
+            truth_boxes = list(sequence.truth_at(frame.frame_index).values())
+            total_truth += len(truth_boxes)
+            predictions = frame.boxes()
+            matches = greedy_match(predictions, truth_boxes)
+            matched_above = sum(1 for _p, _t, iou in matches if iou >= iou_threshold)
+            true_positives += matched_above
+            false_positives += len(predictions) - matched_above
+    return DetectionEvaluation(
+        true_positives=true_positives,
+        false_positives=false_positives,
+        total_ground_truth=total_truth,
+    )
+
+
+def average_precision(
+    results: Sequence[SequenceResult],
+    dataset: Dataset,
+    iou_threshold: float = 0.5,
+) -> float:
+    """AP at a single IoU threshold (the paper quotes IoU 0.5)."""
+    return evaluate_detection(results, dataset, iou_threshold).average_precision
+
+
+def precision_curve(
+    results: Sequence[SequenceResult],
+    dataset: Dataset,
+    thresholds: Sequence[float] | None = None,
+) -> Dict[float, float]:
+    """AP as a function of the IoU threshold (the x-axis of Fig. 9a)."""
+    if thresholds is None:
+        thresholds = [round(t, 2) for t in np.arange(0.0, 1.01, 0.1)]
+    # Matching does not depend on the threshold, so collect matched IoUs once.
+    matched_ious: List[float] = []
+    total_predictions = 0
+    for result, sequence in _pair_results_with_truth(results, dataset):
+        for frame in result.frames:
+            truth_boxes = list(sequence.truth_at(frame.frame_index).values())
+            predictions = frame.boxes()
+            total_predictions += len(predictions)
+            matched_ious.extend(iou for _p, _t, iou in greedy_match(predictions, truth_boxes))
+
+    ious = np.asarray(matched_ious, dtype=np.float64)
+    curve: Dict[float, float] = {}
+    for threshold in thresholds:
+        if total_predictions == 0:
+            curve[float(threshold)] = 0.0
+            continue
+        true_positives = int((ious >= threshold).sum()) if ious.size else 0
+        curve[float(threshold)] = true_positives / total_predictions
+    return curve

@@ -1,0 +1,46 @@
+"""Greedy IoU matching between predicted and ground-truth boxes."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.geometry import BoundingBox
+
+
+def greedy_match(
+    predictions: Sequence[BoundingBox],
+    truths: Sequence[BoundingBox],
+) -> List[Tuple[int, int, float]]:
+    """Greedily match predictions to ground-truth boxes by descending IoU.
+
+    Returns a list of ``(prediction_index, truth_index, iou)`` triples.  Each
+    prediction and each truth participates in at most one match; pairs with
+    zero IoU are never matched.  This is the standard assignment used when
+    computing detection true/false positives.
+    """
+    candidates: List[Tuple[float, int, int]] = []
+    for p_index, prediction in enumerate(predictions):
+        for t_index, truth in enumerate(truths):
+            iou = prediction.iou(truth)
+            if iou > 0.0:
+                candidates.append((iou, p_index, t_index))
+    candidates.sort(key=lambda item: item[0], reverse=True)
+
+    matched_predictions: set = set()
+    matched_truths: set = set()
+    matches: List[Tuple[int, int, float]] = []
+    for iou, p_index, t_index in candidates:
+        if p_index in matched_predictions or t_index in matched_truths:
+            continue
+        matched_predictions.add(p_index)
+        matched_truths.add(t_index)
+        matches.append((p_index, t_index, iou))
+    return matches
+
+
+def match_ious(
+    predictions: Sequence[BoundingBox],
+    truths: Sequence[BoundingBox],
+) -> Dict[int, float]:
+    """IoU of each matched prediction, keyed by prediction index."""
+    return {p: iou for p, _t, iou in greedy_match(predictions, truths)}

@@ -1,0 +1,122 @@
+"""Visual-tracking accuracy metrics (success rate / success curves)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.types import SequenceResult
+from ..video.datasets import Dataset
+from ..video.sequence import VideoSequence
+
+
+@dataclass(frozen=True)
+class TrackingEvaluation:
+    """Aggregate tracking statistics at one IoU threshold."""
+
+    successful_frames: int
+    evaluated_frames: int
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of evaluated frames whose IoU exceeds the threshold."""
+        if self.evaluated_frames == 0:
+            return 0.0
+        return self.successful_frames / self.evaluated_frames
+
+
+def _sequence_lookup(dataset: Dataset) -> Dict[str, VideoSequence]:
+    return {sequence.name: sequence for sequence in dataset.sequences}
+
+
+def _frame_ious(result: SequenceResult, sequence: VideoSequence) -> List[Optional[float]]:
+    """Per-frame IoU of the tracked box against ground truth.
+
+    Frames where the target is absent from the ground truth are skipped
+    (``None``), matching standard tracking-benchmark protocol.
+    """
+    target_id = sequence.primary_object_id
+    truth_boxes = sequence.truth_for(target_id)
+    ious: List[Optional[float]] = []
+    for frame in result.frames:
+        truth = truth_boxes[frame.frame_index]
+        if truth is None:
+            ious.append(None)
+            continue
+        best = frame.best_for(truth)
+        ious.append(0.0 if best is None else best.box.iou(truth))
+    return ious
+
+
+def evaluate_tracking(
+    results: Sequence[SequenceResult],
+    dataset: Dataset,
+    iou_threshold: float = 0.5,
+) -> TrackingEvaluation:
+    """Score tracking results against a dataset at one IoU threshold."""
+    lookup = _sequence_lookup(dataset)
+    successful = 0
+    evaluated = 0
+    for result in results:
+        sequence = lookup[result.sequence_name]
+        for iou in _frame_ious(result, sequence):
+            if iou is None:
+                continue
+            evaluated += 1
+            if iou >= iou_threshold:
+                successful += 1
+    return TrackingEvaluation(successful_frames=successful, evaluated_frames=evaluated)
+
+
+def success_rate(
+    results: Sequence[SequenceResult],
+    dataset: Dataset,
+    iou_threshold: float = 0.5,
+) -> float:
+    """Success rate at one IoU threshold (the paper quotes IoU 0.5)."""
+    return evaluate_tracking(results, dataset, iou_threshold).success_rate
+
+
+def success_curve(
+    results: Sequence[SequenceResult],
+    dataset: Dataset,
+    thresholds: Sequence[float] | None = None,
+) -> Dict[float, float]:
+    """Success rate as a function of IoU threshold (x-axis of Fig. 10a)."""
+    if thresholds is None:
+        thresholds = [round(t, 2) for t in np.arange(0.0, 1.01, 0.1)]
+    lookup = _sequence_lookup(dataset)
+    all_ious: List[float] = []
+    for result in results:
+        sequence = lookup[result.sequence_name]
+        all_ious.extend(iou for iou in _frame_ious(result, sequence) if iou is not None)
+    ious = np.asarray(all_ious, dtype=np.float64)
+    curve: Dict[float, float] = {}
+    for threshold in thresholds:
+        if ious.size == 0:
+            curve[float(threshold)] = 0.0
+        else:
+            curve[float(threshold)] = float((ious >= threshold).mean())
+    return curve
+
+
+def per_sequence_success(
+    results: Sequence[SequenceResult],
+    dataset: Dataset,
+    iou_threshold: float = 0.5,
+) -> Dict[str, float]:
+    """Success rate of every sequence individually (Fig. 10c)."""
+    lookup = _sequence_lookup(dataset)
+    rates: Dict[str, float] = {}
+    for result in results:
+        sequence = lookup[result.sequence_name]
+        ious = [iou for iou in _frame_ious(result, sequence) if iou is not None]
+        if not ious:
+            rates[result.sequence_name] = 0.0
+            continue
+        rates[result.sequence_name] = float(
+            np.mean([1.0 if iou >= iou_threshold else 0.0 for iou in ious])
+        )
+    return rates

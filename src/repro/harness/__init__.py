@@ -1,0 +1,44 @@
+"""Experiment harness: one entry point per table/figure in the paper.
+
+Every function returns a plain-data result object with a ``rows()`` method so
+the benchmarks can both assert on the numbers and print the same table/series
+the paper reports.  The experiment functions accept dataset-size parameters;
+the defaults are sized to finish quickly, and EXPERIMENTS.md records the
+settings used for the committed results.
+"""
+
+from .reporting import format_table
+from .experiments import (
+    EnergyExperimentResult,
+    PrecisionCurveResult,
+    figure1_accuracy_vs_tops,
+    figure9a_detection_precision,
+    figure9b_detection_energy,
+    figure9c_compute_memory,
+    figure10a_tracking_success,
+    figure10b_tracking_energy,
+    figure10c_per_sequence_success,
+    figure11a_macroblock_sensitivity,
+    figure11b_es_vs_tss,
+    figure12_attribute_sensitivity,
+    table1_soc_configuration,
+    table2_workloads,
+)
+
+__all__ = [
+    "format_table",
+    "EnergyExperimentResult",
+    "PrecisionCurveResult",
+    "figure1_accuracy_vs_tops",
+    "table1_soc_configuration",
+    "table2_workloads",
+    "figure9a_detection_precision",
+    "figure9b_detection_energy",
+    "figure9c_compute_memory",
+    "figure10a_tracking_success",
+    "figure10b_tracking_energy",
+    "figure10c_per_sequence_success",
+    "figure11a_macroblock_sensitivity",
+    "figure11b_es_vs_tss",
+    "figure12_attribute_sensitivity",
+]

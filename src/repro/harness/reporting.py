@@ -1,0 +1,36 @@
+"""Plain-text table formatting for experiment results."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a list of rows as an aligned ASCII table.
+
+    Numbers are formatted with a sensible number of significant digits; all
+    other values fall back to ``str``.
+    """
+    rendered_rows: List[List[str]] = [[_format_cell(cell) for cell in row] for row in rows]
+    all_rows = [list(map(str, headers))] + rendered_rows
+    widths = [max(len(row[i]) for row in all_rows) for i in range(len(headers))]
+
+    def render(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+
+    separator = "  ".join("-" * width for width in widths)
+    lines = [render(all_rows[0]), separator]
+    lines.extend(render(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)

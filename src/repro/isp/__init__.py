@@ -1,0 +1,41 @@
+"""Vision-frontend substrate: camera sensor model and ISP pipeline.
+
+The continuous-vision frontend (Fig. 2 in the paper) captures RAW Bayer data
+on an image sensor and converts it to RGB/YUV frames through an ISP pipeline
+of dead-pixel correction, demosaicing, white balance and, increasingly,
+motion-enabled stages such as temporal denoising.  Euphrates' frontend
+augmentation (Sec. 4.2) is to keep the motion vectors the temporal-denoise
+stage already computes and write them into the frame-buffer metadata instead
+of discarding them.
+"""
+
+from .sensor import CameraSensor, RawFrame, SensorConfig
+from .stages import (
+    DeadPixelCorrection,
+    Demosaic,
+    GammaCorrection,
+    ISPStage,
+    WhiteBalance,
+    rgb_to_luma,
+)
+from .denoise import TemporalDenoiseStage
+from .framebuffer import FrameBuffer, FrameBufferEntry
+from .pipeline import ISPConfig, ISPPipeline, ProcessedFrame
+
+__all__ = [
+    "CameraSensor",
+    "RawFrame",
+    "SensorConfig",
+    "ISPStage",
+    "DeadPixelCorrection",
+    "Demosaic",
+    "WhiteBalance",
+    "GammaCorrection",
+    "rgb_to_luma",
+    "TemporalDenoiseStage",
+    "FrameBuffer",
+    "FrameBufferEntry",
+    "ISPConfig",
+    "ISPPipeline",
+    "ProcessedFrame",
+]

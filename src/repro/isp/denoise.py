@@ -1,0 +1,138 @@
+"""Temporal-denoising ISP stage (the stage that produces motion vectors).
+
+The paper assumes (Sec. 4.2) that the ISP's temporal-denoise (TD) stage runs
+block-matching motion estimation against the previous frame and then uses the
+resulting motion vectors for motion-compensated denoising.  Euphrates' only
+frontend change is to *keep* those motion vectors and write them to the
+frame-buffer metadata instead of recycling the SRAM that holds them.
+
+This module implements the functional behaviour of that stage: the motion
+estimation (delegated to :mod:`repro.motion`), the motion-compensated
+temporal blend, and the double-buffered SRAM accounting used to take the MV
+write-back traffic off the ISP's critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..motion.block_matching import BlockMatcher, BlockMatchingConfig
+from ..motion.motion_field import MotionField
+
+
+@dataclass(frozen=True)
+class TemporalDenoiseConfig:
+    """Configuration of the temporal-denoise stage."""
+
+    block_matching: BlockMatchingConfig = BlockMatchingConfig()
+    #: Blend weight given to the motion-compensated previous frame.  Higher
+    #: values denoise more aggressively but risk ghosting.
+    blend_strength: float = 0.5
+    #: Blocks whose normalised SAD exceeds this threshold are considered a bad
+    #: match and are not blended (prevents ghosting on occlusions).
+    max_normalised_sad: float = 0.15
+    #: Whether the stage's local SRAM is double buffered so MV write-back can
+    #: overlap with the rest of the pipeline (Sec. 4.2).
+    double_buffered_sram: bool = True
+
+
+class TemporalDenoiseStage:
+    """Motion-estimating, motion-compensating temporal denoiser."""
+
+    ops_per_pixel = 4.0
+
+    def __init__(self, config: TemporalDenoiseConfig | None = None) -> None:
+        self.config = config or TemporalDenoiseConfig()
+        self._matcher = BlockMatcher(self.config.block_matching)
+        self._previous_denoised: Optional[np.ndarray] = None
+        #: Motion field computed for the most recent frame.
+        self.last_motion_field: Optional[MotionField] = None
+        #: Arithmetic operations spent on motion estimation for the last frame.
+        self.last_motion_ops = 0
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def reset(self) -> None:
+        """Forget the previous frame (e.g. at a scene cut or stream start)."""
+        self._previous_denoised = None
+        self.last_motion_field = None
+        self.last_motion_ops = 0
+
+    def process(self, luma: np.ndarray, **context) -> Tuple[np.ndarray, Optional[MotionField]]:
+        """Denoise ``luma`` and return ``(denoised, motion_field)``.
+
+        The first frame of a stream has no reference, so it passes through
+        unchanged with no motion field.
+        """
+        current = np.asarray(luma, dtype=np.float64)
+        if self._previous_denoised is None or self._previous_denoised.shape != current.shape:
+            self._previous_denoised = current.copy()
+            self.last_motion_field = None
+            self.last_motion_ops = 0
+            return current, None
+
+        field = self._matcher.estimate(current, self._previous_denoised)
+        self.last_motion_field = field
+        self.last_motion_ops = self._matcher.last_operation_count
+
+        denoised = self._motion_compensated_blend(current, self._previous_denoised, field)
+        self._previous_denoised = denoised
+        return denoised, field
+
+    # ------------------------------------------------------------------
+    # Motion compensation
+    # ------------------------------------------------------------------
+    def _motion_compensated_blend(
+        self, current: np.ndarray, previous: np.ndarray, field: MotionField
+    ) -> np.ndarray:
+        """Blend each macroblock with its motion-compensated predecessor."""
+        block = field.grid.block_size
+        height, width = current.shape
+        blended = current.copy()
+        strength = self.config.blend_strength
+        max_sad = field.max_sad * self.config.max_normalised_sad
+
+        for row in range(field.grid.rows):
+            for col in range(field.grid.cols):
+                if field.sad[row, col] > max_sad:
+                    continue
+                y0 = row * block
+                x0 = col * block
+                y1 = min(y0 + block, height)
+                x1 = min(x0 + block, width)
+                u, v = field.vectors[row, col]
+                # The block content came from (x - u, y - v) in the previous
+                # frame (forward-motion convention).
+                src_y0 = int(round(y0 - v))
+                src_x0 = int(round(x0 - u))
+                src_y1 = src_y0 + (y1 - y0)
+                src_x1 = src_x0 + (x1 - x0)
+                if src_y0 < 0 or src_x0 < 0 or src_y1 > height or src_x1 > width:
+                    continue
+                reference = previous[src_y0:src_y1, src_x0:src_x1]
+                blended[y0:y1, x0:x1] = (
+                    (1.0 - strength) * current[y0:y1, x0:x1] + strength * reference
+                )
+        return blended
+
+    # ------------------------------------------------------------------
+    # SRAM accounting (Sec. 4.2)
+    # ------------------------------------------------------------------
+    def sram_bytes(self, frame_width: int, frame_height: int) -> int:
+        """Local SRAM needed to hold the motion vectors for one frame.
+
+        With double buffering (the Euphrates augmentation) this doubles so
+        that DMA write-back of the previous frame's MVs can overlap with the
+        current frame's motion estimation.
+        """
+        grid_rows = -(-frame_height // self.config.block_matching.block_size)
+        grid_cols = -(-frame_width // self.config.block_matching.block_size)
+        bytes_single = grid_rows * grid_cols * 2  # 1 byte MV + 1 byte confidence
+        if self.config.double_buffered_sram:
+            return 2 * bytes_single
+        return bytes_single

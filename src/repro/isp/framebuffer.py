@@ -1,0 +1,126 @@
+"""DRAM frame buffer shared between the vision frontend and backend.
+
+The ISP writes each processed frame (pixel data plus metadata) into a frame
+buffer in DRAM; the backend IPs read from it through the system MMU
+(Sec. 4.2).  Euphrates piggybacks the existing frame-buffer mechanism to
+carry the motion vectors: they are appended to the metadata section, adding
+only ~8 KB to the ~6 MB a 1080p frame already occupies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+
+import numpy as np
+
+from ..motion.motion_field import MotionField
+
+
+#: Bytes per pixel of the RGB/YUV frame the ISP commits to DRAM.  A 1080p
+#: frame at 3 bytes/pixel is ~6 MB, matching the paper's figure.
+PIXEL_BYTES_PER_PIXEL = 3
+
+
+@dataclass
+class FrameBufferEntry:
+    """One frame's worth of data in the DRAM frame buffer."""
+
+    frame_index: int
+    #: Luma plane of the processed frame (what the vision backend consumes).
+    pixels: np.ndarray
+    #: Motion vectors + confidences produced by the ISP's TD stage; ``None``
+    #: when the Euphrates MV-exposure augmentation is disabled or when the
+    #: frame had no reference (first frame of a stream).
+    motion_field: Optional[MotionField] = None
+    #: Extra metadata bytes (exposure, AWB gains, histograms ...) that a real
+    #: ISP writes regardless of Euphrates.
+    baseline_metadata_bytes: int = 256
+
+    @property
+    def height(self) -> int:
+        return int(self.pixels.shape[0])
+
+    @property
+    def width(self) -> int:
+        return int(self.pixels.shape[1])
+
+    @property
+    def pixel_bytes(self) -> int:
+        """Size of the pixel section in bytes."""
+        return self.height * self.width * PIXEL_BYTES_PER_PIXEL
+
+    @property
+    def motion_metadata_bytes(self) -> int:
+        """Size of the motion-vector metadata appended by Euphrates."""
+        if self.motion_field is None:
+            return 0
+        return self.motion_field.metadata_bytes()
+
+    @property
+    def total_bytes(self) -> int:
+        """Total DRAM footprint of this entry."""
+        return self.pixel_bytes + self.baseline_metadata_bytes + self.motion_metadata_bytes
+
+    @property
+    def has_motion_vectors(self) -> bool:
+        return self.motion_field is not None
+
+
+class FrameBuffer:
+    """A bounded ring of the most recent frame-buffer entries.
+
+    Real SoCs allocate a small number of frame buffers and recycle them; the
+    depth here bounds how many frames the backend may lag behind the
+    frontend.  The buffer also tallies the DRAM write traffic the frontend
+    generates, which feeds the SoC memory-energy model.
+    """
+
+    def __init__(self, depth: int = 4) -> None:
+        if depth <= 0:
+            raise ValueError("frame buffer depth must be positive")
+        self.depth = depth
+        self._entries: Deque[FrameBufferEntry] = deque(maxlen=depth)
+        #: Total bytes written into the buffer since creation.
+        self.bytes_written = 0
+        #: Total bytes read out of the buffer since creation.
+        self.bytes_read = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def push(self, entry: FrameBufferEntry) -> None:
+        """Commit a new frame from the frontend."""
+        self._entries.append(entry)
+        self.bytes_written += entry.total_bytes
+
+    def latest(self) -> FrameBufferEntry:
+        """The most recently committed frame."""
+        if not self._entries:
+            raise LookupError("frame buffer is empty")
+        return self._entries[-1]
+
+    def get(self, frame_index: int) -> FrameBufferEntry:
+        """Entry for a specific frame index, if it is still resident."""
+        for entry in self._entries:
+            if entry.frame_index == frame_index:
+                return entry
+        raise LookupError(f"frame {frame_index} is no longer in the frame buffer")
+
+    def read_pixels(self, frame_index: int) -> np.ndarray:
+        """Backend read of a frame's pixel data (counts full pixel traffic)."""
+        entry = self.get(frame_index)
+        self.bytes_read += entry.pixel_bytes
+        return entry.pixels
+
+    def read_motion_metadata(self, frame_index: int) -> Optional[MotionField]:
+        """Backend read of a frame's MV metadata (counts metadata traffic only)."""
+        entry = self.get(frame_index)
+        self.bytes_read += entry.motion_metadata_bytes
+        return entry.motion_field
+
+    def reset_traffic_counters(self) -> None:
+        """Zero the read/write byte counters (e.g. between experiments)."""
+        self.bytes_written = 0
+        self.bytes_read = 0

@@ -1,0 +1,142 @@
+"""CNN layer descriptors with MAC / parameter / activation accounting.
+
+These descriptors carry enough information for the systolic-array
+performance model (:mod:`repro.soc.systolic`) to estimate cycles and for the
+SoC memory model to estimate weight/activation traffic.  They intentionally
+do not carry trained weights — the paper treats the CNNs as fixed black boxes
+and only their cost matters to the co-design (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class LayerSpec(ABC):
+    """Base class for a single network layer."""
+
+    name: str
+
+    @property
+    @abstractmethod
+    def output_shape(self) -> Tuple[int, int, int]:
+        """Output feature-map shape as ``(height, width, channels)``."""
+
+    @property
+    @abstractmethod
+    def macs(self) -> int:
+        """Multiply-accumulate operations to evaluate the layer once."""
+
+    @property
+    @abstractmethod
+    def parameters(self) -> int:
+        """Number of trained parameters (weights + biases)."""
+
+    @property
+    def ops(self) -> int:
+        """Arithmetic operations (1 MAC = 2 ops), the unit used in Table 2."""
+        return 2 * self.macs
+
+    @property
+    def output_activations(self) -> int:
+        """Number of output activation values."""
+        height, width, channels = self.output_shape
+        return height * width * channels
+
+
+def _conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+@dataclass(frozen=True)
+class ConvLayer(LayerSpec):
+    """A 2-D convolution layer."""
+
+    name: str
+    input_height: int
+    input_width: int
+    in_channels: int
+    out_channels: int
+    kernel_size: int
+    stride: int = 1
+    padding: int | None = None  # None means "same" padding for stride 1
+
+    def _padding(self) -> int:
+        if self.padding is not None:
+            return self.padding
+        return self.kernel_size // 2
+
+    @property
+    def output_shape(self) -> Tuple[int, int, int]:
+        pad = self._padding()
+        out_h = _conv_output_size(self.input_height, self.kernel_size, self.stride, pad)
+        out_w = _conv_output_size(self.input_width, self.kernel_size, self.stride, pad)
+        return (out_h, out_w, self.out_channels)
+
+    @property
+    def macs(self) -> int:
+        out_h, out_w, out_c = self.output_shape
+        return out_h * out_w * out_c * self.in_channels * self.kernel_size * self.kernel_size
+
+    @property
+    def parameters(self) -> int:
+        return (
+            self.out_channels * self.in_channels * self.kernel_size * self.kernel_size
+            + self.out_channels
+        )
+
+
+@dataclass(frozen=True)
+class PoolLayer(LayerSpec):
+    """A max/average pooling layer (negligible MACs, but shapes matter)."""
+
+    name: str
+    input_height: int
+    input_width: int
+    channels: int
+    kernel_size: int = 2
+    stride: int = 2
+
+    @property
+    def output_shape(self) -> Tuple[int, int, int]:
+        out_h = max(1, math.ceil((self.input_height - self.kernel_size) / self.stride) + 1)
+        out_w = max(1, math.ceil((self.input_width - self.kernel_size) / self.stride) + 1)
+        return (out_h, out_w, self.channels)
+
+    @property
+    def macs(self) -> int:
+        # Pooling performs comparisons, not MACs; we charge one op per input
+        # element via `ops` below but zero MACs for the MAC array.
+        return 0
+
+    @property
+    def ops(self) -> int:
+        return self.input_height * self.input_width * self.channels
+
+    @property
+    def parameters(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class FullyConnectedLayer(LayerSpec):
+    """A fully connected layer."""
+
+    name: str
+    in_features: int
+    out_features: int
+
+    @property
+    def output_shape(self) -> Tuple[int, int, int]:
+        return (1, 1, self.out_features)
+
+    @property
+    def macs(self) -> int:
+        return self.in_features * self.out_features
+
+    @property
+    def parameters(self) -> int:
+        return self.in_features * self.out_features + self.out_features

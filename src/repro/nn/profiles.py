@@ -1,0 +1,94 @@
+"""Accuracy profiles for the simulated CNN backends.
+
+Real trained networks are not available offline, so I-frame vision results
+are produced by perturbing the synthetic ground truth with a per-network
+noise model (see DESIGN.md, "Substitutions").  The profile parameters are
+chosen so that the relative ordering and rough magnitudes match the
+literature: YOLOv2 is an accurate detector, Tiny YOLO trades ~20 % accuracy
+for 80 % less compute, and MDNet is a state-of-the-art tracker with ~95 %
+success at IoU 0.5 on OTB-style data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AccuracyProfile:
+    """Noise model describing how a network's outputs deviate from truth.
+
+    Attributes
+    ----------
+    name:
+        Profile identifier (usually the network name).
+    center_noise:
+        Standard deviation of the predicted box-center error, as a fraction
+        of the ground-truth box's mean side length.
+    size_noise:
+        Standard deviation of the multiplicative width/height error.
+    miss_rate:
+        Probability that a ground-truth object is not detected at all.
+    false_positives_per_frame:
+        Expected number of spurious detections per frame (detection only).
+    score_mean, score_std:
+        Distribution of confidence scores attached to true detections.
+    """
+
+    name: str
+    center_noise: float
+    size_noise: float
+    miss_rate: float
+    false_positives_per_frame: float = 0.0
+    score_mean: float = 0.85
+    score_std: float = 0.08
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.miss_rate <= 1.0:
+            raise ValueError("miss_rate must be within [0, 1]")
+        if self.center_noise < 0 or self.size_noise < 0:
+            raise ValueError("noise parameters must be non-negative")
+        if self.false_positives_per_frame < 0:
+            raise ValueError("false_positives_per_frame must be non-negative")
+
+
+#: Full YOLOv2: accurate localisation, few misses, few false positives.
+YOLO_V2_PROFILE = AccuracyProfile(
+    name="YOLOv2",
+    center_noise=0.035,
+    size_noise=0.05,
+    miss_rate=0.03,
+    false_positives_per_frame=0.08,
+    score_mean=0.88,
+    score_std=0.06,
+)
+
+#: Tiny YOLO: the truncated network loses roughly 20 points of accuracy —
+#: noisier boxes, many more misses and false positives.
+TINY_YOLO_PROFILE = AccuracyProfile(
+    name="TinyYOLO",
+    center_noise=0.16,
+    size_noise=0.22,
+    miss_rate=0.22,
+    false_positives_per_frame=0.55,
+    score_mean=0.62,
+    score_std=0.14,
+)
+
+#: MDNet: a near-oracle single-target tracker on OTB-style sequences.
+MDNET_PROFILE = AccuracyProfile(
+    name="MDNet",
+    center_noise=0.03,
+    size_noise=0.04,
+    miss_rate=0.0,
+    false_positives_per_frame=0.0,
+    score_mean=0.93,
+    score_std=0.04,
+)
+
+#: Lookup used by the pipeline factories.
+PROFILES_BY_NETWORK = {
+    "YOLOv2": YOLO_V2_PROFILE,
+    "TinyYOLO": TINY_YOLO_PROFILE,
+    "MDNet": MDNET_PROFILE,
+}

@@ -1,0 +1,101 @@
+"""Simulated CNN single-target tracker (MDNet stand-in).
+
+MDNet localises one target per frame by scoring candidate windows around the
+previous estimate.  The simulated tracker reproduces its externally visible
+behaviour: a near-truth box with small localisation noise while the target is
+visible, and drift (it keeps reporting the last known location) while the
+target is occluded or out of view — exactly the situations where a real
+tracker loses the target.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.geometry import BoundingBox
+from ..core.types import Detection
+from .detector import _stable_rng
+from .models import NetworkSpec
+from .profiles import AccuracyProfile
+
+
+class SimulatedCNNTracker:
+    """Single-object tracker with an MDNet-like accuracy profile."""
+
+    def __init__(
+        self,
+        network: NetworkSpec,
+        profile: AccuracyProfile,
+        seed: int = 0,
+    ) -> None:
+        self.network = network
+        self.profile = profile
+        self.seed = seed
+        self._last_box: Optional[BoundingBox] = None
+        self._label = "target"
+        self._object_id: Optional[int] = None
+        self.inference_count = 0
+
+    # ------------------------------------------------------------------
+    # Tracker lifecycle
+    # ------------------------------------------------------------------
+    def initialize(self, first_box: BoundingBox, label: str = "target", object_id: int | None = 0) -> None:
+        """Initialise the tracker with the first-frame annotation.
+
+        Tracking benchmarks always provide the first frame's ground truth to
+        the tracker (OTB/VOT protocol).
+        """
+        self._last_box = first_box
+        self._label = label
+        self._object_id = object_id
+
+    @property
+    def is_initialized(self) -> bool:
+        return self._last_box is not None
+
+    def track(
+        self,
+        frame_index: int,
+        truth: Optional[BoundingBox],
+        sequence_name: str = "",
+    ) -> Detection:
+        """Run one simulated inference pass and return the tracked box."""
+        if self._last_box is None:
+            raise RuntimeError("tracker must be initialised with the first-frame box")
+        rng = _stable_rng(self.seed, sequence_name or self.network.name, frame_index)
+        self.inference_count += 1
+
+        if truth is None:
+            # Target not visible: a real tracker drifts around its previous
+            # estimate; we keep the previous box with a small random walk.
+            drift_scale = 0.02 * (self._last_box.width + self._last_box.height)
+            drifted = self._last_box.translate(
+                rng.normal(0.0, drift_scale), rng.normal(0.0, drift_scale)
+            )
+            self._last_box = drifted
+            score = 0.2
+            return Detection(
+                box=drifted,
+                label=self._label,
+                score=score,
+                object_id=self._object_id,
+                extrapolated=False,
+            )
+
+        scale = 0.5 * (truth.width + truth.height)
+        cx = truth.center.x + rng.normal(0.0, self.profile.center_noise * scale)
+        cy = truth.center.y + rng.normal(0.0, self.profile.center_noise * scale)
+        new_w = truth.width * max(0.3, 1.0 + rng.normal(0.0, self.profile.size_noise))
+        new_h = truth.height * max(0.3, 1.0 + rng.normal(0.0, self.profile.size_noise))
+        box = BoundingBox.from_center(cx, cy, new_w, new_h)
+        self._last_box = box
+        score = float(np.clip(rng.normal(self.profile.score_mean, self.profile.score_std), 0.05, 1.0))
+        return Detection(
+            box=box,
+            label=self._label,
+            score=score,
+            object_id=self._object_id,
+            extrapolated=False,
+        )

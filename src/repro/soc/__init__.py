@@ -1,0 +1,39 @@
+"""Mobile-SoC architecture model.
+
+Models the vision subsystem of a commercial mobile SoC (Fig. 5 / Table 1 in
+the paper): camera sensor, ISP, a systolic-array CNN accelerator (NNX), the
+new Euphrates motion-controller IP, DRAM, and the host CPU.  The model is
+calibrated with the paper's measured constants (Jetson TX2 power rails,
+16 nm RTL synthesis results) and produces the per-frame energy, performance
+and memory-traffic numbers behind Figs. 9b/9c and 10b.
+"""
+
+from .config import (
+    CPUConfig,
+    DRAMConfig,
+    MotionControllerConfig,
+    NNXConfig,
+    SoCConfig,
+)
+from .systolic import SystolicArrayModel
+from .nnx import NNXAccelerator
+from .motion_controller import MotionControllerIP
+from .cpu import CPUHost
+from .dram import DRAMModel
+from .soc import EnergyBreakdown, FrameSchedule, VisionSoC
+
+__all__ = [
+    "NNXConfig",
+    "MotionControllerConfig",
+    "DRAMConfig",
+    "CPUConfig",
+    "SoCConfig",
+    "SystolicArrayModel",
+    "NNXAccelerator",
+    "MotionControllerIP",
+    "CPUHost",
+    "DRAMModel",
+    "VisionSoC",
+    "FrameSchedule",
+    "EnergyBreakdown",
+]

@@ -1,0 +1,85 @@
+"""The motion-controller IP (Sec. 4.3).
+
+A micro-controller-class IP with a 4-wide SIMD datapath, an 8 KB MV SRAM and
+a programmable sequencer.  It plays the master role in the vision backend:
+it reads the MV metadata from the frame buffer, extrapolates ROIs on
+E-frames, programs the NNX's memory-mapped registers for I-frames, receives
+the inference results, and implements the adaptive-EW control loop — all
+without interrupting the CPU (task autonomy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import MotionControllerConfig
+
+
+#: Bytes written back per ROI result (coordinates, label, score, object id).
+RESULT_BYTES_PER_ROI = 16
+
+
+@dataclass(frozen=True)
+class ExtrapolationCost:
+    """Cost of extrapolating one E-frame on the motion controller."""
+
+    latency_s: float
+    energy_j: float
+    dram_traffic_bytes: int
+    ops: float
+
+
+class MotionControllerIP:
+    """Latency/energy/traffic model of the Euphrates motion controller."""
+
+    def __init__(self, config: MotionControllerConfig | None = None) -> None:
+        self.config = config or MotionControllerConfig()
+
+    # ------------------------------------------------------------------
+    # Compute model
+    # ------------------------------------------------------------------
+    def extrapolation_ops(self, num_rois: int) -> float:
+        """Fixed-point operations to extrapolate ``num_rois`` ROIs.
+
+        The paper estimates ~10 K 4-bit fixed-point operations per typical
+        ROI (Sec. 3.2) — several orders of magnitude below a CNN inference.
+        """
+        return self.config.ops_per_roi * max(0, num_rois)
+
+    def extrapolation_latency_s(self, num_rois: int) -> float:
+        """Time to extrapolate all ROIs of one E-frame."""
+        ops = self.extrapolation_ops(num_rois)
+        ops_per_cycle = self.config.simd_lanes
+        cycles = ops / max(1, ops_per_cycle)
+        return cycles / self.config.clock_hz
+
+    def supports_frame_rate(self, num_rois: int, frame_rate: float) -> bool:
+        """Whether the IP keeps up with ``num_rois`` per frame at ``frame_rate``."""
+        return self.extrapolation_latency_s(num_rois) <= 1.0 / frame_rate
+
+    # ------------------------------------------------------------------
+    # Energy and traffic
+    # ------------------------------------------------------------------
+    def frame_energy_j(self, frame_period_s: float) -> float:
+        """Energy over one frame period.
+
+        The IP is always on while the vision task runs (it sequences both I-
+        and E-frames), so its energy is simply power x time; at 2.2 mW it is
+        a rounding error next to the NNX.
+        """
+        return self.config.active_power_w * frame_period_s
+
+    def extrapolation_traffic_bytes(self, motion_metadata_bytes: int, num_rois: int) -> int:
+        """DRAM traffic of one E-frame: MV metadata in, ROI results out."""
+        return int(motion_metadata_bytes + RESULT_BYTES_PER_ROI * max(1, num_rois))
+
+    def extrapolation_cost(
+        self, frame_period_s: float, motion_metadata_bytes: int, num_rois: int
+    ) -> ExtrapolationCost:
+        """Bundle the per-E-frame costs."""
+        return ExtrapolationCost(
+            latency_s=self.extrapolation_latency_s(num_rois),
+            energy_j=self.frame_energy_j(frame_period_s),
+            dram_traffic_bytes=self.extrapolation_traffic_bytes(motion_metadata_bytes, num_rois),
+            ops=self.extrapolation_ops(num_rois),
+        )

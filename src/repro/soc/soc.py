@@ -1,0 +1,331 @@
+"""SoC-level energy / performance model of the continuous-vision pipeline.
+
+This is the top of the hardware-modeling stack: given a CNN workload and an
+I-frame/E-frame schedule (produced either analytically or by running the
+actual Euphrates pipeline on video), it computes the frame rate the vision
+subsystem achieves and the energy split between the frontend (sensor + ISP),
+main memory, and backend (NNX + motion controller, plus the CPU when
+extrapolation is hosted in software).  These are exactly the quantities
+plotted in Figs. 9b, 9c and 10b of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..core.types import SequenceResult
+from ..nn.models import NetworkSpec
+from .config import SoCConfig
+from .cpu import CPUHost
+from .dram import DRAMModel
+from .motion_controller import MotionControllerIP
+from .nnx import NNXAccelerator
+
+
+#: Bytes per pixel of the unpacked RAW Bayer data the sensor streams in.
+RAW_BYTES_PER_PIXEL = 2
+#: Bytes per pixel of the processed RGB/YUV frame the ISP commits to DRAM.
+PROCESSED_BYTES_PER_PIXEL = 3
+
+
+@dataclass(frozen=True)
+class FrameSchedule:
+    """How the frames of a workload are split between inference and extrapolation."""
+
+    num_frames: int
+    inference_frames: int
+    extrapolation_frames: int
+    #: Average number of tracked/detected ROIs per frame (drives MC cost).
+    rois_per_frame: float = 1.0
+    #: When True, the extrapolation algorithm runs on the CPU instead of the
+    #: motion-controller IP (the EW-8@CPU configuration of Fig. 9b).
+    extrapolation_on_cpu: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_frames <= 0:
+            raise ValueError("num_frames must be positive")
+        if self.inference_frames < 0 or self.extrapolation_frames < 0:
+            raise ValueError("frame counts must be non-negative")
+        if self.inference_frames + self.extrapolation_frames != self.num_frames:
+            raise ValueError(
+                "inference_frames + extrapolation_frames must equal num_frames"
+            )
+
+    @property
+    def inference_rate(self) -> float:
+        """Fraction of frames that trigger a CNN inference (Fig. 10b, right axis)."""
+        return self.inference_frames / self.num_frames
+
+    @classmethod
+    def constant_ew(
+        cls,
+        extrapolation_window: int,
+        num_frames: int = 6000,
+        rois_per_frame: float = 1.0,
+        extrapolation_on_cpu: bool = False,
+    ) -> "FrameSchedule":
+        """Schedule for constant-EW operation.
+
+        ``extrapolation_window`` follows the paper's EW-N naming: EW-N means
+        one inference every N frames (N-1 extrapolations in between), so
+        EW-1 is the conventional inference-every-frame baseline.
+        """
+        if extrapolation_window < 1:
+            raise ValueError("extrapolation_window must be >= 1")
+        inference = (num_frames + extrapolation_window - 1) // extrapolation_window
+        return cls(
+            num_frames=num_frames,
+            inference_frames=inference,
+            extrapolation_frames=num_frames - inference,
+            rois_per_frame=rois_per_frame,
+            extrapolation_on_cpu=extrapolation_on_cpu,
+        )
+
+    @classmethod
+    def from_results(
+        cls,
+        results: Sequence[SequenceResult],
+        rois_per_frame: Optional[float] = None,
+        extrapolation_on_cpu: bool = False,
+    ) -> "FrameSchedule":
+        """Build a schedule from actual pipeline runs (adaptive-EW case)."""
+        num_frames = sum(len(r) for r in results)
+        inference = sum(r.inference_count for r in results)
+        if num_frames == 0:
+            raise ValueError("results contain no frames")
+        if rois_per_frame is None:
+            total_rois = sum(len(f.detections) for r in results for f in r.frames)
+            rois_per_frame = max(1.0, total_rois / num_frames)
+        return cls(
+            num_frames=num_frames,
+            inference_frames=inference,
+            extrapolation_frames=num_frames - inference,
+            rois_per_frame=rois_per_frame,
+            extrapolation_on_cpu=extrapolation_on_cpu,
+        )
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy/performance summary of running a workload on the vision SoC."""
+
+    label: str
+    num_frames: int
+    fps: float
+    inference_rate: float
+    frontend_energy_j: float
+    memory_energy_j: float
+    backend_energy_j: float
+    cpu_energy_j: float
+    total_traffic_bytes: int
+    total_ops: float
+    wall_time_s: float
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def total_energy_j(self) -> float:
+        return (
+            self.frontend_energy_j
+            + self.memory_energy_j
+            + self.backend_energy_j
+            + self.cpu_energy_j
+        )
+
+    @property
+    def energy_per_frame_j(self) -> float:
+        return self.total_energy_j / self.num_frames
+
+    @property
+    def frontend_energy_per_frame_j(self) -> float:
+        return self.frontend_energy_j / self.num_frames
+
+    @property
+    def memory_energy_per_frame_j(self) -> float:
+        return self.memory_energy_j / self.num_frames
+
+    @property
+    def backend_energy_per_frame_j(self) -> float:
+        return (self.backend_energy_j + self.cpu_energy_j) / self.num_frames
+
+    @property
+    def ops_per_frame(self) -> float:
+        return self.total_ops / self.num_frames
+
+    @property
+    def traffic_per_frame_bytes(self) -> float:
+        return self.total_traffic_bytes / self.num_frames
+
+    def normalized_to(self, baseline: "EnergyBreakdown") -> float:
+        """Per-frame energy relative to a baseline configuration."""
+        return self.energy_per_frame_j / baseline.energy_per_frame_j
+
+    def energy_saving_vs(self, baseline: "EnergyBreakdown") -> float:
+        """Fractional per-frame energy saving relative to a baseline."""
+        return 1.0 - self.normalized_to(baseline)
+
+
+class VisionSoC:
+    """The co-designed vision subsystem: frontend, backend, memory, host CPU."""
+
+    def __init__(self, config: SoCConfig | None = None) -> None:
+        self.config = config or SoCConfig()
+        self.nnx = NNXAccelerator(self.config.nnx)
+        self.motion_controller = MotionControllerIP(self.config.motion_controller)
+        self.cpu = CPUHost(self.config.cpu)
+        self.dram = DRAMModel(self.config.dram)
+
+    # ------------------------------------------------------------------
+    # Per-frame building blocks
+    # ------------------------------------------------------------------
+    @property
+    def frame_pixels(self) -> int:
+        return self.config.frame_width * self.config.frame_height
+
+    def frontend_traffic_bytes_per_frame(self) -> int:
+        """DRAM traffic the frontend generates for every captured frame.
+
+        RAW Bayer write by the sensor interface, RAW read by the ISP, the
+        processed RGB/YUV frame write, and a preview/display read of the
+        processed frame — roughly 21 MB per 1080p frame, which together with
+        the backend's E-frame metadata accesses reproduces the paper's
+        ~23 MB-per-E-frame figure.
+        """
+        raw = self.frame_pixels * RAW_BYTES_PER_PIXEL
+        processed = self.frame_pixels * PROCESSED_BYTES_PER_PIXEL
+        return raw + raw + processed + processed
+
+    def motion_metadata_bytes_per_frame(self, macroblock_size: int = 16) -> int:
+        """Size of the per-frame MV metadata Euphrates appends (Sec. 4.2)."""
+        cols = -(-self.config.frame_width // macroblock_size)
+        rows = -(-self.config.frame_height // macroblock_size)
+        return rows * cols * 2  # 1 byte MV + 1 byte confidence per macroblock
+
+    def network_input_bytes(self, network: NetworkSpec) -> int:
+        """Bytes of pixel data one inference reads from the frame buffer."""
+        height, width, channels = network.input_shape
+        return height * width * channels * network.bytes_per_value
+
+    # ------------------------------------------------------------------
+    # Main evaluation entry point
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        network: NetworkSpec,
+        schedule: FrameSchedule,
+        label: Optional[str] = None,
+    ) -> EnergyBreakdown:
+        """Energy/performance of running ``schedule`` with ``network`` I-frames."""
+        config = self.config
+        capture_period = config.frame_period_s
+
+        inference_latency = self.nnx.inference_latency_s(network)
+        extrapolation_latency = self.motion_controller.extrapolation_latency_s(
+            int(round(schedule.rois_per_frame))
+        )
+        if schedule.extrapolation_on_cpu:
+            cpu_cost = self.cpu.extrapolation_cost()
+            extrapolation_latency = cpu_cost.latency_s
+
+        # Achieved output frame rate: the backend cannot emit results faster
+        # than the camera captures frames, nor faster than its own compute
+        # allows in steady state.
+        backend_time = (
+            schedule.inference_frames * inference_latency
+            + schedule.extrapolation_frames * extrapolation_latency
+        )
+        capture_time = schedule.num_frames * capture_period
+        wall_time = max(backend_time, capture_time)
+        fps = schedule.num_frames / wall_time
+
+        # ---------------- Frontend ----------------
+        frontend_energy = config.frontend_power_w * wall_time
+
+        # ---------------- Backend -----------------
+        nnx_active_time = schedule.inference_frames * inference_latency
+        nnx_energy = (
+            self.nnx.config.active_power_w * nnx_active_time
+            + self.nnx.idle_energy_j(max(0.0, wall_time - nnx_active_time))
+        )
+        mc_energy = self.motion_controller.config.active_power_w * wall_time
+        backend_energy = nnx_energy + mc_energy
+
+        cpu_energy = 0.0
+        if schedule.extrapolation_on_cpu:
+            cpu_energy = self.cpu.extrapolation_cost().energy_j * schedule.extrapolation_frames
+
+        # ---------------- Memory ------------------
+        frame_bytes = self.frontend_traffic_bytes_per_frame()
+        metadata_bytes = self.motion_metadata_bytes_per_frame()
+        inference_traffic = self.nnx.inference_dram_traffic_bytes(
+            network, self.network_input_bytes(network)
+        )
+        extrapolation_traffic = self.motion_controller.extrapolation_traffic_bytes(
+            metadata_bytes, int(round(schedule.rois_per_frame))
+        )
+        total_traffic = (
+            schedule.num_frames * (frame_bytes + metadata_bytes)
+            + schedule.inference_frames * inference_traffic
+            + schedule.extrapolation_frames * extrapolation_traffic
+        )
+        memory_energy = self.dram.energy_j(total_traffic, wall_time)
+
+        # ---------------- Compute ops --------------
+        total_ops = (
+            schedule.inference_frames * float(network.ops_per_frame)
+            + schedule.extrapolation_frames
+            * self.motion_controller.extrapolation_ops(int(round(schedule.rois_per_frame)))
+        )
+
+        return EnergyBreakdown(
+            label=label or f"{network.name}/{schedule.inference_rate:.2f}",
+            num_frames=schedule.num_frames,
+            fps=fps,
+            inference_rate=schedule.inference_rate,
+            frontend_energy_j=frontend_energy,
+            memory_energy_j=memory_energy,
+            backend_energy_j=backend_energy,
+            cpu_energy_j=cpu_energy,
+            total_traffic_bytes=int(total_traffic),
+            total_ops=total_ops,
+            wall_time_s=wall_time,
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience wrappers used by the benchmark harness
+    # ------------------------------------------------------------------
+    def evaluate_constant_ew(
+        self,
+        network: NetworkSpec,
+        extrapolation_window: int,
+        num_frames: int = 6000,
+        rois_per_frame: float = 1.0,
+        extrapolation_on_cpu: bool = False,
+        label: Optional[str] = None,
+    ) -> EnergyBreakdown:
+        """Evaluate a constant extrapolation window (EW-N) configuration."""
+        schedule = FrameSchedule.constant_ew(
+            extrapolation_window,
+            num_frames=num_frames,
+            rois_per_frame=rois_per_frame,
+            extrapolation_on_cpu=extrapolation_on_cpu,
+        )
+        default_label = (
+            network.name if extrapolation_window == 1 else f"EW-{extrapolation_window}"
+        )
+        return self.evaluate(network, schedule, label=label or default_label)
+
+    def evaluate_results(
+        self,
+        network: NetworkSpec,
+        results: Sequence[SequenceResult],
+        extrapolation_on_cpu: bool = False,
+        label: Optional[str] = None,
+    ) -> EnergyBreakdown:
+        """Evaluate the schedule actually produced by a pipeline run."""
+        schedule = FrameSchedule.from_results(
+            results, extrapolation_on_cpu=extrapolation_on_cpu
+        )
+        return self.evaluate(network, schedule, label=label or network.name)

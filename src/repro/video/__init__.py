@@ -1,0 +1,48 @@
+"""Synthetic continuous-video substrate.
+
+The paper evaluates Euphrates on real video benchmarks (an in-house detection
+dataset, OTB-100 and VOT-2014).  Those datasets are not redistributable and
+require camera captures, so this package provides a procedural substitute:
+video sequences with precisely known ground truth whose *motion statistics*
+(object speed, deformation, occlusion, blur, illumination changes, scale
+changes, clutter) are controllable and match the visual attributes that the
+original benchmarks annotate.  See DESIGN.md, "Substitutions".
+"""
+
+from .attributes import VisualAttribute
+from .objects import MovingObject, ObjectPart
+from .sequence import VideoSequence
+from .synthetic import SequenceConfig, SequenceGenerator
+from .trajectories import (
+    BouncingTrajectory,
+    CompositeTrajectory,
+    LinearTrajectory,
+    SinusoidalTrajectory,
+    Trajectory,
+)
+from .datasets import (
+    Dataset,
+    build_detection_dataset,
+    build_otb_like_dataset,
+    build_tracking_dataset,
+    build_vot_like_dataset,
+)
+
+__all__ = [
+    "VisualAttribute",
+    "MovingObject",
+    "ObjectPart",
+    "VideoSequence",
+    "SequenceConfig",
+    "SequenceGenerator",
+    "Trajectory",
+    "LinearTrajectory",
+    "SinusoidalTrajectory",
+    "BouncingTrajectory",
+    "CompositeTrajectory",
+    "Dataset",
+    "build_otb_like_dataset",
+    "build_vot_like_dataset",
+    "build_tracking_dataset",
+    "build_detection_dataset",
+]

@@ -1,0 +1,52 @@
+"""Visual attributes used to categorise tracking sequences.
+
+These mirror the OTB-100 attribute annotations the paper uses in Fig. 12 to
+break down accuracy by scene difficulty (Sec. 7).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import FrozenSet
+
+
+class VisualAttribute(Enum):
+    """Scene characteristics that stress different parts of the algorithm."""
+
+    ILLUMINATION_VARIATION = "illumination_variation"
+    SCALE_VARIATION = "scale_variation"
+    OCCLUSION = "occlusion"
+    DEFORMATION = "deformation"
+    MOTION_BLUR = "motion_blur"
+    FAST_MOTION = "fast_motion"
+    IN_PLANE_ROTATION = "in_plane_rotation"
+    OUT_OF_PLANE_ROTATION = "out_of_plane_rotation"
+    OUT_OF_VIEW = "out_of_view"
+    BACKGROUND_CLUTTER = "background_clutter"
+
+    @property
+    def display_name(self) -> str:
+        """Human-readable name as printed in the paper's Fig. 12."""
+        return self.value.replace("_", " ").title()
+
+
+#: Attributes that primarily stress the motion-estimation frontend.  The paper
+#: reports that fast motion and motion blur are where extrapolation loses the
+#: most accuracy (Sec. 7).
+MOTION_CHALLENGING_ATTRIBUTES: FrozenSet[VisualAttribute] = frozenset(
+    {VisualAttribute.FAST_MOTION, VisualAttribute.MOTION_BLUR}
+)
+
+#: All attributes, in the order Fig. 12 lists them.
+FIGURE12_ATTRIBUTE_ORDER = (
+    VisualAttribute.ILLUMINATION_VARIATION,
+    VisualAttribute.SCALE_VARIATION,
+    VisualAttribute.OCCLUSION,
+    VisualAttribute.DEFORMATION,
+    VisualAttribute.MOTION_BLUR,
+    VisualAttribute.FAST_MOTION,
+    VisualAttribute.IN_PLANE_ROTATION,
+    VisualAttribute.OUT_OF_PLANE_ROTATION,
+    VisualAttribute.OUT_OF_VIEW,
+    VisualAttribute.BACKGROUND_CLUTTER,
+)

@@ -1,0 +1,231 @@
+"""Moving objects rendered into synthetic video frames.
+
+An object is a set of textured rectangular parts attached to a trajectory.
+Single-part objects behave rigidly; multi-part objects with local part motion
+model the deformation cases (e.g. a running athlete) that motivate the
+sub-ROI extrapolation of Sec. 3.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.geometry import BoundingBox
+from .trajectories import CompositeTrajectory, Trajectory
+
+
+@dataclass
+class ObjectPart:
+    """One textured rectangle belonging to an object."""
+
+    width: float
+    height: float
+    texture: np.ndarray
+    #: Offset of the part center from the object center, in pixels.
+    offset_x: float = 0.0
+    offset_y: float = 0.0
+    #: Amplitude (pixels) and period (frames) of the part's local oscillation.
+    sway_amplitude: float = 0.0
+    sway_period: float = 20.0
+    sway_phase: float = 0.0
+
+    def local_offset(self, frame_index: int) -> Tuple[float, float]:
+        """Offset of the part center from the object center at a frame."""
+        if self.sway_amplitude == 0.0:
+            return (self.offset_x, self.offset_y)
+        angle = 2.0 * np.pi * frame_index / self.sway_period + self.sway_phase
+        return (
+            self.offset_x + self.sway_amplitude * float(np.sin(angle)),
+            self.offset_y + 0.5 * self.sway_amplitude * float(np.cos(angle)),
+        )
+
+
+@dataclass
+class MovingObject:
+    """A trackable object composed of one or more textured parts."""
+
+    object_id: int
+    label: str
+    trajectory: Trajectory
+    parts: List[ObjectPart]
+    #: Multiplicative size change per frame (1.0 = constant size).  Values
+    #: slightly above/below 1.0 model the scale-variation attribute.
+    scale_rate: float = 1.0
+    #: Frame intervals (start, stop) during which the object is hidden.
+    occluded_intervals: Sequence[Tuple[int, int]] = field(default_factory=tuple)
+    #: Frame intervals during which the object leaves the frame entirely.
+    out_of_view_intervals: Sequence[Tuple[int, int]] = field(default_factory=tuple)
+
+    def scale_at(self, frame_index: int) -> float:
+        """Size multiplier at ``frame_index`` (clamped to a sane range)."""
+        scale = self.scale_rate ** frame_index
+        return float(min(max(scale, 0.25), 4.0))
+
+    def is_occluded(self, frame_index: int) -> bool:
+        """True when the object is hidden behind an occluder at this frame."""
+        return any(start <= frame_index < stop for start, stop in self.occluded_intervals)
+
+    def is_out_of_view(self, frame_index: int) -> bool:
+        """True when the object has left the camera's field of view."""
+        return any(start <= frame_index < stop for start, stop in self.out_of_view_intervals)
+
+    def center_at(self, frame_index: int) -> Tuple[float, float]:
+        """Object center in pixels at ``frame_index``."""
+        return self.trajectory.position(frame_index)
+
+    def part_boxes(self, frame_index: int) -> List[BoundingBox]:
+        """Bounding boxes of every part at ``frame_index`` (unclipped)."""
+        cx, cy = self.center_at(frame_index)
+        scale = self.scale_at(frame_index)
+        boxes = []
+        for part in self.parts:
+            ox, oy = part.local_offset(frame_index)
+            boxes.append(
+                BoundingBox.from_center(
+                    cx + ox * scale,
+                    cy + oy * scale,
+                    part.width * scale,
+                    part.height * scale,
+                )
+            )
+        return boxes
+
+    def bounding_box(self, frame_index: int) -> BoundingBox:
+        """Tight box around all parts at ``frame_index`` (unclipped)."""
+        return BoundingBox.union_of(self.part_boxes(frame_index))
+
+    def ground_truth_box(
+        self, frame_index: int, frame_width: int, frame_height: int
+    ) -> Optional[BoundingBox]:
+        """Ground-truth annotation for ``frame_index``.
+
+        Returns ``None`` when the object is fully outside the frame or marked
+        out-of-view, mirroring how tracking benchmarks annotate absent
+        targets.
+        """
+        if self.is_out_of_view(frame_index):
+            return None
+        box = self.bounding_box(frame_index).clip(frame_width, frame_height)
+        if box.is_empty() or box.area < 4.0:
+            return None
+        return box
+
+    def render_into(
+        self,
+        canvas: np.ndarray,
+        frame_index: int,
+        illumination: float = 1.0,
+    ) -> None:
+        """Draw the object's parts into ``canvas`` (a float luma image).
+
+        Rendering uses nearest-pixel placement of each part's texture,
+        resampled to the part's current size.  Occluded objects are still
+        partially drawn (their lower half is covered by a flat occluder) so
+        that block matching sees the same ambiguity a real occlusion causes.
+        """
+        if self.is_out_of_view(frame_index):
+            return
+        occluded = self.is_occluded(frame_index)
+        frame_height, frame_width = canvas.shape
+        for part, box in zip(self.parts, self.part_boxes(frame_index)):
+            self._blit(canvas, part.texture, box, illumination)
+        if occluded:
+            self._draw_occluder(canvas, self.bounding_box(frame_index))
+
+    # ------------------------------------------------------------------
+    # Rendering internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _blit(
+        canvas: np.ndarray, texture: np.ndarray, box: BoundingBox, illumination: float
+    ) -> None:
+        frame_height, frame_width = canvas.shape
+        x0 = int(round(box.left))
+        y0 = int(round(box.top))
+        x1 = int(round(box.right))
+        y1 = int(round(box.bottom))
+        x0c, y0c = max(x0, 0), max(y0, 0)
+        x1c, y1c = min(x1, frame_width), min(y1, frame_height)
+        if x1c <= x0c or y1c <= y0c:
+            return
+        target_h = y1 - y0
+        target_w = x1 - x0
+        if target_h <= 0 or target_w <= 0:
+            return
+        resized = _resize_nearest(texture, target_h, target_w)
+        patch = resized[y0c - y0 : y1c - y0, x0c - x0 : x1c - x0]
+        canvas[y0c:y1c, x0c:x1c] = np.clip(patch * illumination, 0.0, 255.0)
+
+    @staticmethod
+    def _draw_occluder(canvas: np.ndarray, box: BoundingBox) -> None:
+        """Cover the lower 60% of the object box with a flat grey occluder."""
+        frame_height, frame_width = canvas.shape
+        clipped = box.clip(frame_width, frame_height)
+        if clipped.is_empty():
+            return
+        y0 = int(round(clipped.top + 0.4 * clipped.height))
+        y1 = int(round(clipped.bottom))
+        x0 = int(round(clipped.left))
+        x1 = int(round(clipped.right))
+        if y1 <= y0 or x1 <= x0:
+            return
+        canvas[y0:y1, x0:x1] = 128.0
+
+
+def _resize_nearest(texture: np.ndarray, target_h: int, target_w: int) -> np.ndarray:
+    """Nearest-neighbour resize of a 2-D texture to the requested size."""
+    src_h, src_w = texture.shape
+    row_idx = np.minimum((np.arange(target_h) * src_h // max(target_h, 1)), src_h - 1)
+    col_idx = np.minimum((np.arange(target_w) * src_w // max(target_w, 1)), src_w - 1)
+    return texture[np.ix_(row_idx, col_idx)]
+
+
+def make_textured_part(
+    rng: np.random.Generator,
+    width: float,
+    height: float,
+    base_intensity: float = 180.0,
+    contrast: float = 50.0,
+    offset_x: float = 0.0,
+    offset_y: float = 0.0,
+    sway_amplitude: float = 0.0,
+    sway_period: float = 20.0,
+    sway_phase: float = 0.0,
+) -> ObjectPart:
+    """Create a part with a random smooth texture.
+
+    Textures need spatial structure (not white noise) for block matching to
+    lock onto; we low-pass random noise with a small box filter and add a
+    gradient so the texture is distinctive against the background.
+    """
+    tex_h = max(4, int(round(height)))
+    tex_w = max(4, int(round(width)))
+    noise = rng.uniform(-1.0, 1.0, size=(tex_h, tex_w))
+    smoothed = _box_filter(noise, 3)
+    gradient = np.linspace(-0.5, 0.5, tex_w)[None, :] + np.linspace(-0.5, 0.5, tex_h)[:, None]
+    texture = base_intensity + contrast * (smoothed + 0.5 * gradient)
+    texture = np.clip(texture, 0.0, 255.0)
+    return ObjectPart(
+        width=width,
+        height=height,
+        texture=texture,
+        offset_x=offset_x,
+        offset_y=offset_y,
+        sway_amplitude=sway_amplitude,
+        sway_period=sway_period,
+        sway_phase=sway_phase,
+    )
+
+
+def _box_filter(image: np.ndarray, size: int) -> np.ndarray:
+    """Simple separable box filter used to give textures spatial structure."""
+    if size <= 1:
+        return image
+    kernel = np.ones(size) / size
+    padded = np.pad(image, ((size, size), (size, size)), mode="reflect")
+    filtered = np.apply_along_axis(lambda m: np.convolve(m, kernel, mode="same"), 0, padded)
+    filtered = np.apply_along_axis(lambda m: np.convolve(m, kernel, mode="same"), 1, filtered)
+    return filtered[size:-size, size:-size]

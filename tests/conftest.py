@@ -1,0 +1,92 @@
+"""Shared fixtures for the test suite.
+
+Heavy objects (datasets, generated sequences) are session-scoped so the suite
+stays fast; tests that need to mutate them must copy first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import BoundingBox, MotionVector
+from repro.motion.motion_field import MacroblockGrid, MotionField
+from repro.video.attributes import VisualAttribute
+from repro.video.datasets import (
+    build_detection_dataset,
+    build_otb_like_dataset,
+    build_tracking_dataset,
+)
+from repro.video.synthetic import SequenceConfig, SequenceGenerator
+
+
+@pytest.fixture(scope="session")
+def small_sequence():
+    """A short single-object sequence used by many unit tests."""
+    config = SequenceConfig(name="unit_seq", num_frames=24, num_objects=1, seed=11)
+    return SequenceGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def fast_motion_sequence():
+    """A sequence whose object moves faster than the search window."""
+    config = SequenceConfig(
+        name="fast_seq",
+        num_frames=24,
+        num_objects=1,
+        seed=12,
+        attributes=frozenset({VisualAttribute.FAST_MOTION, VisualAttribute.MOTION_BLUR}),
+    )
+    return SequenceGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def multi_object_sequence():
+    """A multi-object sequence used by detection tests."""
+    config = SequenceConfig(
+        name="multi_seq",
+        num_frames=20,
+        num_objects=4,
+        frame_width=256,
+        frame_height=144,
+        seed=13,
+    )
+    return SequenceGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def tiny_tracking_dataset():
+    """A 4-sequence tracking dataset for integration tests."""
+    return build_otb_like_dataset(num_sequences=4, frames_per_sequence=30, seed=200)
+
+
+@pytest.fixture(scope="session")
+def tiny_combined_tracking_dataset():
+    """A small OTB-like + VOT-like combined dataset."""
+    return build_tracking_dataset(
+        otb_sequences=3, vot_sequences=2, frames_per_sequence=24, seed=300
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_detection_dataset():
+    """A 2-sequence multi-object detection dataset."""
+    return build_detection_dataset(num_sequences=2, frames_per_sequence=20, seed=400)
+
+
+@pytest.fixture
+def simple_grid():
+    """A 64x48 frame tiled with 16-pixel macroblocks (4x3 grid)."""
+    return MacroblockGrid(frame_width=64, frame_height=48, block_size=16)
+
+
+@pytest.fixture
+def uniform_motion_field(simple_grid):
+    """A motion field where everything moves by (+2, +1) with perfect SAD."""
+    return MotionField.uniform(simple_grid, MotionVector(2.0, 1.0), sad_value=0.0)
+
+
+@pytest.fixture
+def sample_box():
+    """A convenient mid-frame box."""
+    return BoundingBox(10.0, 8.0, 24.0, 16.0)

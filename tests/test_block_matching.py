@@ -1,0 +1,164 @@
+"""Tests for block-matching motion estimation (ES and TSS)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.motion.block_matching import (
+    BlockMatcher,
+    BlockMatchingConfig,
+    SearchStrategy,
+    exhaustive_search_ops_per_macroblock,
+    three_step_search_ops_per_macroblock,
+)
+
+
+def _textured_frame(rng: np.random.Generator, height: int = 64, width: int = 96) -> np.ndarray:
+    """A smooth but textured frame block matching can lock on to."""
+    coarse = rng.uniform(0, 255, (height // 8, width // 8))
+    return np.kron(coarse, np.ones((8, 8)))
+
+
+def _shift(frame: np.ndarray, dx: int, dy: int) -> np.ndarray:
+    """Shift a frame by (dx, dy) with edge replication."""
+    shifted = np.roll(np.roll(frame, dy, axis=0), dx, axis=1)
+    return shifted
+
+
+class TestConfig:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BlockMatchingConfig(block_size=0)
+        with pytest.raises(ValueError):
+            BlockMatchingConfig(search_range=0)
+
+    def test_es_ops_formula(self):
+        # L^2 * (2d+1)^2 from Sec. 2.3.
+        assert exhaustive_search_ops_per_macroblock(16, 7) == 256 * 225
+
+    def test_tss_ops_formula(self):
+        # L^2 * (1 + 8 log2(d+1)) -> for d=7: 256 * 25.
+        assert three_step_search_ops_per_macroblock(16, 7) == 256 * 25
+
+    def test_tss_is_cheaper_than_es(self):
+        config_es = BlockMatchingConfig(strategy=SearchStrategy.EXHAUSTIVE)
+        config_tss = BlockMatchingConfig(strategy=SearchStrategy.THREE_STEP)
+        assert config_tss.ops_per_macroblock < config_es.ops_per_macroblock
+        # The paper quotes an ~8/9 reduction at d = 7.
+        ratio = config_tss.ops_per_macroblock / config_es.ops_per_macroblock
+        assert ratio == pytest.approx(1.0 / 9.0, rel=0.05)
+
+    def test_ops_per_frame_scales_with_blocks(self):
+        config = BlockMatchingConfig()
+        assert config.ops_per_frame(64, 48) == 12 * config.ops_per_macroblock
+
+
+class TestMotionRecovery:
+    @pytest.mark.parametrize("strategy", [SearchStrategy.EXHAUSTIVE, SearchStrategy.THREE_STEP])
+    @pytest.mark.parametrize("shift", [(0, 0), (3, 2), (-4, 1), (5, -5)])
+    def test_recovers_global_translation(self, strategy, shift):
+        rng = np.random.default_rng(7)
+        previous = _textured_frame(rng)
+        dx, dy = shift
+        current = _shift(previous, dx, dy)
+        matcher = BlockMatcher(BlockMatchingConfig(block_size=16, search_range=7, strategy=strategy))
+        field = matcher.estimate(current, previous)
+        # Interior blocks (away from the wrap-around edges) must recover the shift.
+        interior = field.vectors[1:-1, 1:-1]
+        assert np.median(interior[..., 0]) == pytest.approx(dx, abs=1.0)
+        assert np.median(interior[..., 1]) == pytest.approx(dy, abs=1.0)
+
+    def test_static_scene_reports_zero_motion(self):
+        rng = np.random.default_rng(8)
+        frame = _textured_frame(rng)
+        matcher = BlockMatcher(BlockMatchingConfig())
+        field = matcher.estimate(frame, frame)
+        assert field.max_magnitude() == 0.0
+        assert np.all(field.sad == 0.0)
+
+    def test_flat_frames_prefer_zero_motion(self):
+        flat = np.full((48, 64), 128.0)
+        matcher = BlockMatcher(BlockMatchingConfig(strategy=SearchStrategy.EXHAUSTIVE))
+        field = matcher.estimate(flat, flat)
+        assert field.max_magnitude() == 0.0
+
+    def test_motion_beyond_search_range_is_not_recovered(self):
+        rng = np.random.default_rng(9)
+        previous = _textured_frame(rng)
+        current = _shift(previous, 12, 0)  # beyond d = 7
+        matcher = BlockMatcher(BlockMatchingConfig(search_range=7))
+        field = matcher.estimate(current, previous)
+        assert abs(field.mean_motion().u) <= 7.0
+
+
+class TestEstimateInterface:
+    def test_shape_mismatch_rejected(self):
+        matcher = BlockMatcher()
+        with pytest.raises(ValueError):
+            matcher.estimate(np.zeros((32, 32)), np.zeros((32, 48)))
+
+    def test_non_2d_rejected(self):
+        matcher = BlockMatcher()
+        with pytest.raises(ValueError):
+            matcher.estimate(np.zeros((32, 32, 3)), np.zeros((32, 32, 3)))
+
+    def test_non_multiple_frame_size_is_padded(self):
+        rng = np.random.default_rng(10)
+        frame = rng.uniform(0, 255, (50, 70))
+        matcher = BlockMatcher(BlockMatchingConfig(block_size=16))
+        field = matcher.estimate(frame, frame)
+        assert field.grid.rows == 4
+        assert field.grid.cols == 5
+
+    def test_operation_count_tracked(self):
+        rng = np.random.default_rng(11)
+        frame = _textured_frame(rng)
+        config = BlockMatchingConfig(strategy=SearchStrategy.THREE_STEP)
+        matcher = BlockMatcher(config)
+        matcher.estimate(frame, frame)
+        expected = (64 // 16) * (96 // 16) * config.ops_per_macroblock
+        assert matcher.last_operation_count == expected
+
+    def test_sad_values_are_non_negative(self):
+        rng = np.random.default_rng(12)
+        a = rng.uniform(0, 255, (48, 64))
+        b = rng.uniform(0, 255, (48, 64))
+        matcher = BlockMatcher()
+        field = matcher.estimate(a, b)
+        assert np.all(field.sad >= 0)
+
+    def test_vectors_stay_within_search_window(self):
+        rng = np.random.default_rng(13)
+        a = rng.uniform(0, 255, (48, 64))
+        b = rng.uniform(0, 255, (48, 64))
+        for strategy in SearchStrategy:
+            matcher = BlockMatcher(BlockMatchingConfig(search_range=5, strategy=strategy))
+            field = matcher.estimate(a, b)
+            assert np.all(np.abs(field.vectors) <= 5.0)
+
+
+class TestESvsTSS:
+    def test_tss_sad_never_better_than_es(self):
+        """ES is optimal within the window; TSS can only match or do worse."""
+        rng = np.random.default_rng(14)
+        previous = _textured_frame(rng)
+        current = _shift(previous, 2, 3) + rng.normal(0, 2.0, previous.shape)
+        es = BlockMatcher(BlockMatchingConfig(strategy=SearchStrategy.EXHAUSTIVE))
+        tss = BlockMatcher(BlockMatchingConfig(strategy=SearchStrategy.THREE_STEP))
+        es_field = es.estimate(current, previous)
+        tss_field = tss.estimate(current, previous)
+        assert es_field.sad.sum() <= tss_field.sad.sum() + 1e-6
+
+    def test_es_and_tss_agree_on_clean_translation(self):
+        rng = np.random.default_rng(15)
+        previous = _textured_frame(rng)
+        current = _shift(previous, 4, 1)
+        es = BlockMatcher(BlockMatchingConfig(strategy=SearchStrategy.EXHAUSTIVE))
+        tss = BlockMatcher(BlockMatchingConfig(strategy=SearchStrategy.THREE_STEP))
+        es_field = es.estimate(current, previous)
+        tss_field = tss.estimate(current, previous)
+        interior_es = es_field.vectors[1:-1, 1:-1]
+        interior_tss = tss_field.vectors[1:-1, 1:-1]
+        agreement = np.mean(np.all(interior_es == interior_tss, axis=-1))
+        assert agreement > 0.8

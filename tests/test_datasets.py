@@ -1,0 +1,88 @@
+"""Tests for the benchmark-dataset builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.video.attributes import VisualAttribute
+from repro.video.datasets import (
+    Dataset,
+    build_detection_dataset,
+    build_otb_like_dataset,
+    build_tracking_dataset,
+    build_vot_like_dataset,
+)
+
+
+class TestOTBLikeDataset:
+    def test_sizes(self):
+        dataset = build_otb_like_dataset(num_sequences=6, frames_per_sequence=12)
+        assert len(dataset) == 6
+        assert dataset.total_frames == 72
+        assert all(seq.num_frames == 12 for seq in dataset)
+
+    def test_single_target_per_sequence(self):
+        dataset = build_otb_like_dataset(num_sequences=3, frames_per_sequence=10)
+        assert all(len(seq.object_ids) == 1 for seq in dataset)
+
+    def test_attribute_coverage(self):
+        dataset = build_otb_like_dataset(num_sequences=12, frames_per_sequence=8)
+        counts = dataset.attribute_counts()
+        covered = {attr for attr, count in counts.items() if count > 0}
+        # The twelve-bundle rotation covers every Fig. 12 attribute.
+        assert covered == set(VisualAttribute)
+
+    def test_unique_names(self):
+        dataset = build_otb_like_dataset(num_sequences=5, frames_per_sequence=8)
+        names = [seq.name for seq in dataset]
+        assert len(set(names)) == len(names)
+
+
+class TestVOTLikeDataset:
+    def test_every_sequence_is_challenging(self):
+        dataset = build_vot_like_dataset(num_sequences=5, frames_per_sequence=8)
+        assert all(len(seq.attributes) >= 1 for seq in dataset)
+
+    def test_sizes(self):
+        dataset = build_vot_like_dataset(num_sequences=4, frames_per_sequence=10)
+        assert len(dataset) == 4
+        assert dataset.total_frames == 40
+
+
+class TestCombinedTrackingDataset:
+    def test_combines_both_pools(self):
+        dataset = build_tracking_dataset(
+            otb_sequences=3, vot_sequences=2, frames_per_sequence=8
+        )
+        assert len(dataset) == 5
+        names = {seq.name for seq in dataset}
+        assert any(name.startswith("otb_like") for name in names)
+        assert any(name.startswith("vot_like") for name in names)
+
+
+class TestDetectionDataset:
+    def test_multi_object_density(self):
+        dataset = build_detection_dataset(
+            num_sequences=2, frames_per_sequence=10, objects_per_sequence=6
+        )
+        for sequence in dataset:
+            assert len(sequence.object_ids) == 6
+            assert sequence.average_objects_per_frame() > 3.0
+
+    def test_total_frames(self):
+        dataset = build_detection_dataset(num_sequences=3, frames_per_sequence=14)
+        assert dataset.total_frames == 42
+
+
+class TestDatasetHelpers:
+    def test_sequences_with_attribute(self):
+        dataset = build_otb_like_dataset(num_sequences=12, frames_per_sequence=6)
+        occluded = dataset.sequences_with(VisualAttribute.OCCLUSION)
+        assert occluded
+        assert all(VisualAttribute.OCCLUSION in seq.attributes for seq in occluded)
+
+    def test_empty_dataset(self):
+        dataset = Dataset(name="empty")
+        assert len(dataset) == 0
+        assert dataset.total_frames == 0
+        assert dataset.sequences_with(VisualAttribute.OCCLUSION) == []

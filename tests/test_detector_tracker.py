@@ -1,0 +1,161 @@
+"""Tests for the simulated CNN detector / tracker and their profiles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import BoundingBox
+from repro.core.types import Detection
+from repro.nn.detector import SimulatedCNNDetector
+from repro.nn.models import build_mdnet, build_tiny_yolo, build_yolo_v2
+from repro.nn.profiles import (
+    AccuracyProfile,
+    MDNET_PROFILE,
+    TINY_YOLO_PROFILE,
+    YOLO_V2_PROFILE,
+)
+from repro.nn.tracker import SimulatedCNNTracker
+
+
+@pytest.fixture
+def truth():
+    return [
+        Detection(box=BoundingBox(20, 20, 40, 30), label="car", object_id=0),
+        Detection(box=BoundingBox(100, 50, 30, 40), label="person", object_id=1),
+    ]
+
+
+class TestProfiles:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AccuracyProfile("bad", 0.1, 0.1, miss_rate=1.5)
+        with pytest.raises(ValueError):
+            AccuracyProfile("bad", -0.1, 0.1, miss_rate=0.0)
+        with pytest.raises(ValueError):
+            AccuracyProfile("bad", 0.1, 0.1, 0.0, false_positives_per_frame=-1)
+
+    def test_yolo_more_accurate_than_tiny(self):
+        assert YOLO_V2_PROFILE.center_noise < TINY_YOLO_PROFILE.center_noise
+        assert YOLO_V2_PROFILE.miss_rate < TINY_YOLO_PROFILE.miss_rate
+        assert MDNET_PROFILE.miss_rate == 0.0
+
+
+class TestSimulatedDetector:
+    def test_detections_close_to_truth(self, truth):
+        detector = SimulatedCNNDetector(build_yolo_v2(), YOLO_V2_PROFILE, seed=0,
+                                        frame_width=200, frame_height=150)
+        detections = detector.detect(3, truth, sequence_name="seq")
+        matched = [d for d in detections if d.object_id is not None]
+        assert matched
+        for detection in matched:
+            original = truth[detection.object_id]
+            assert detection.box.iou(original.box) > 0.5
+            assert detection.label == original.label
+
+    def test_determinism_per_frame(self, truth):
+        detector_a = SimulatedCNNDetector(build_yolo_v2(), YOLO_V2_PROFILE, seed=5,
+                                          frame_width=200, frame_height=150)
+        detector_b = SimulatedCNNDetector(build_yolo_v2(), YOLO_V2_PROFILE, seed=5,
+                                          frame_width=200, frame_height=150)
+        first = detector_a.detect(7, truth, sequence_name="seq")
+        second = detector_b.detect(7, truth, sequence_name="seq")
+        assert [d.box.as_xywh() for d in first] == [d.box.as_xywh() for d in second]
+
+    def test_results_independent_of_call_order(self, truth):
+        detector = SimulatedCNNDetector(build_yolo_v2(), YOLO_V2_PROFILE, seed=5,
+                                        frame_width=200, frame_height=150)
+        direct = detector.detect(9, truth, sequence_name="seq")
+        detector.detect(1, truth, sequence_name="seq")
+        detector.detect(4, truth, sequence_name="seq")
+        repeated = detector.detect(9, truth, sequence_name="seq")
+        assert [d.box.as_xywh() for d in direct] == [d.box.as_xywh() for d in repeated]
+
+    def test_tiny_yolo_is_noisier(self, truth):
+        yolo = SimulatedCNNDetector(build_yolo_v2(), YOLO_V2_PROFILE, seed=1,
+                                    frame_width=200, frame_height=150)
+        tiny = SimulatedCNNDetector(build_tiny_yolo(), TINY_YOLO_PROFILE, seed=1,
+                                    frame_width=200, frame_height=150)
+
+        def mean_iou_against_truth(detector):
+            ious = []
+            for frame in range(40):
+                for detection in detector.detect(frame, truth, sequence_name="s"):
+                    if detection.object_id is not None:
+                        ious.append(detection.box.iou(truth[detection.object_id].box))
+            return float(np.mean(ious))
+
+        assert mean_iou_against_truth(yolo) > mean_iou_against_truth(tiny)
+
+    def test_miss_rate_drops_objects(self, truth):
+        profile = AccuracyProfile("lossy", 0.02, 0.02, miss_rate=0.5)
+        detector = SimulatedCNNDetector(build_yolo_v2(), profile, seed=2,
+                                        frame_width=200, frame_height=150)
+        total = sum(
+            len([d for d in detector.detect(f, truth, sequence_name="s")
+                 if d.object_id is not None])
+            for f in range(50)
+        )
+        assert total < 0.8 * 50 * len(truth)
+
+    def test_false_positives_generated(self, truth):
+        profile = AccuracyProfile("fp", 0.02, 0.02, 0.0, false_positives_per_frame=2.0)
+        detector = SimulatedCNNDetector(build_yolo_v2(), profile, seed=3,
+                                        frame_width=200, frame_height=150)
+        fps = sum(
+            len([d for d in detector.detect(f, truth, sequence_name="s")
+                 if d.object_id is None])
+            for f in range(30)
+        )
+        assert fps > 20
+
+    def test_boxes_clipped_to_frame(self):
+        edge_truth = [Detection(box=BoundingBox(0, 0, 30, 30), object_id=0)]
+        detector = SimulatedCNNDetector(build_yolo_v2(), YOLO_V2_PROFILE, seed=4,
+                                        frame_width=100, frame_height=80)
+        for frame in range(20):
+            for detection in detector.detect(frame, edge_truth, sequence_name="s"):
+                assert detection.box.left >= 0
+                assert detection.box.top >= 0
+                assert detection.box.right <= 100
+                assert detection.box.bottom <= 80
+
+    def test_inference_counter(self, truth):
+        detector = SimulatedCNNDetector(build_yolo_v2(), YOLO_V2_PROFILE, seed=0)
+        for frame in range(5):
+            detector.detect(frame, truth, sequence_name="s")
+        assert detector.inference_count == 5
+
+
+class TestSimulatedTracker:
+    def test_requires_initialization(self):
+        tracker = SimulatedCNNTracker(build_mdnet(), MDNET_PROFILE)
+        with pytest.raises(RuntimeError):
+            tracker.track(0, BoundingBox(0, 0, 10, 10))
+
+    def test_tracks_close_to_truth(self):
+        tracker = SimulatedCNNTracker(build_mdnet(), MDNET_PROFILE, seed=1)
+        first = BoundingBox(40, 30, 30, 40)
+        tracker.initialize(first, label="person", object_id=0)
+        ious = []
+        for frame in range(1, 30):
+            truth = first.translate(2.0 * frame, 1.0 * frame)
+            result = tracker.track(frame, truth, sequence_name="s")
+            ious.append(result.box.iou(truth))
+            assert result.object_id == 0
+            assert result.label == "person"
+        assert np.mean(ious) > 0.7
+
+    def test_drifts_when_target_absent(self):
+        tracker = SimulatedCNNTracker(build_mdnet(), MDNET_PROFILE, seed=2)
+        first = BoundingBox(40, 30, 30, 40)
+        tracker.initialize(first)
+        result = tracker.track(1, None, sequence_name="s")
+        assert result.score <= 0.5
+        assert result.box.iou(first) > 0.3  # stays near the last known location
+
+    def test_is_initialized_flag(self):
+        tracker = SimulatedCNNTracker(build_mdnet(), MDNET_PROFILE)
+        assert not tracker.is_initialized
+        tracker.initialize(BoundingBox(0, 0, 10, 10))
+        assert tracker.is_initialized

@@ -1,0 +1,215 @@
+"""Tests for the evaluation metrics (matching, detection AP, tracking success)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import BoundingBox
+from repro.core.types import Detection, FrameKind, FrameResult, SequenceResult
+from repro.eval.attributes import attribute_precision
+from repro.eval.detection import average_precision, evaluate_detection, precision_curve
+from repro.eval.matching import greedy_match, match_ious
+from repro.eval.tracking import (
+    evaluate_tracking,
+    per_sequence_success,
+    success_curve,
+    success_rate,
+)
+from repro.video.attributes import VisualAttribute
+from repro.video.datasets import Dataset
+from repro.video.sequence import VideoSequence
+
+
+# ----------------------------------------------------------------------
+# Matching
+# ----------------------------------------------------------------------
+class TestGreedyMatch:
+    def test_empty_inputs(self):
+        assert greedy_match([], []) == []
+        assert greedy_match([BoundingBox(0, 0, 5, 5)], []) == []
+
+    def test_one_to_one(self):
+        predictions = [BoundingBox(0, 0, 10, 10), BoundingBox(100, 100, 10, 10)]
+        truths = [BoundingBox(1, 1, 10, 10), BoundingBox(99, 99, 10, 10)]
+        matches = greedy_match(predictions, truths)
+        assert len(matches) == 2
+        matched_pairs = {(p, t) for p, t, _ in matches}
+        assert matched_pairs == {(0, 0), (1, 1)}
+
+    def test_each_truth_used_once(self):
+        truths = [BoundingBox(0, 0, 10, 10)]
+        predictions = [BoundingBox(0, 0, 10, 10), BoundingBox(1, 1, 10, 10)]
+        matches = greedy_match(predictions, truths)
+        assert len(matches) == 1
+        assert matches[0][0] == 0  # the better-overlapping prediction wins
+
+    def test_zero_iou_never_matched(self):
+        matches = greedy_match([BoundingBox(0, 0, 5, 5)], [BoundingBox(50, 50, 5, 5)])
+        assert matches == []
+
+    def test_match_ious_keys(self):
+        predictions = [BoundingBox(0, 0, 10, 10)]
+        truths = [BoundingBox(0, 0, 10, 10)]
+        assert match_ious(predictions, truths) == {0: pytest.approx(1.0)}
+
+
+# ----------------------------------------------------------------------
+# Synthetic fixtures for metric tests
+# ----------------------------------------------------------------------
+def _single_object_dataset(num_frames: int = 10) -> Dataset:
+    frames = np.zeros((num_frames, 64, 96), dtype=np.uint8)
+    truth = {0: [BoundingBox(10.0 + 2 * t, 10.0, 20, 20) for t in range(num_frames)]}
+    sequence = VideoSequence(
+        name="metric_seq",
+        frames=frames,
+        ground_truth=truth,
+        attributes=frozenset({VisualAttribute.OCCLUSION}),
+    )
+    return Dataset(name="metric", sequences=[sequence])
+
+
+def _perfect_results(dataset: Dataset) -> list:
+    sequence = dataset.sequences[0]
+    frames = []
+    for index in range(sequence.num_frames):
+        box = sequence.truth_for(0)[index]
+        frames.append(
+            FrameResult(index, FrameKind.INFERENCE, [Detection(box=box, object_id=0)])
+        )
+    return [SequenceResult(sequence.name, frames)]
+
+
+def _offset_results(dataset: Dataset, offset: float) -> list:
+    sequence = dataset.sequences[0]
+    frames = []
+    for index in range(sequence.num_frames):
+        box = sequence.truth_for(0)[index].translate(offset, 0)
+        frames.append(
+            FrameResult(index, FrameKind.EXTRAPOLATION, [Detection(box=box, object_id=0)])
+        )
+    return [SequenceResult(sequence.name, frames)]
+
+
+# ----------------------------------------------------------------------
+# Detection metrics
+# ----------------------------------------------------------------------
+class TestDetectionMetrics:
+    def test_perfect_predictions_have_ap_one(self):
+        dataset = _single_object_dataset()
+        results = _perfect_results(dataset)
+        evaluation = evaluate_detection(results, dataset, 0.5)
+        assert evaluation.average_precision == pytest.approx(1.0)
+        assert evaluation.recall == pytest.approx(1.0)
+        assert evaluation.false_positives == 0
+
+    def test_offset_predictions_fail_high_thresholds(self):
+        dataset = _single_object_dataset()
+        results = _offset_results(dataset, offset=10.0)  # IoU = 1/3
+        assert average_precision(results, dataset, 0.2) == pytest.approx(1.0)
+        assert average_precision(results, dataset, 0.5) == pytest.approx(0.0)
+
+    def test_false_positive_lowers_precision(self):
+        dataset = _single_object_dataset(num_frames=2)
+        results = _perfect_results(dataset)
+        results[0].frames[0].detections.append(
+            Detection(box=BoundingBox(60, 40, 10, 10), label="false_positive")
+        )
+        evaluation = evaluate_detection(results, dataset, 0.5)
+        assert evaluation.true_positives == 2
+        assert evaluation.false_positives == 1
+        assert evaluation.average_precision == pytest.approx(2.0 / 3.0)
+
+    def test_precision_curve_monotonically_decreases(self):
+        dataset = _single_object_dataset()
+        results = _offset_results(dataset, offset=4.0)
+        curve = precision_curve(results, dataset)
+        thresholds = sorted(curve.keys())
+        values = [curve[t] for t in thresholds]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+        assert values[0] == pytest.approx(1.0)
+
+    def test_empty_results_give_zero(self):
+        dataset = _single_object_dataset(num_frames=2)
+        empty = [
+            SequenceResult(
+                dataset.sequences[0].name,
+                [FrameResult(i, FrameKind.INFERENCE, []) for i in range(2)],
+            )
+        ]
+        assert average_precision(empty, dataset, 0.5) == 0.0
+
+    def test_unknown_sequence_name_raises(self):
+        dataset = _single_object_dataset(num_frames=2)
+        bogus = [SequenceResult("missing", [FrameResult(0, FrameKind.INFERENCE, [])])]
+        with pytest.raises(KeyError):
+            average_precision(bogus, dataset, 0.5)
+
+
+# ----------------------------------------------------------------------
+# Tracking metrics
+# ----------------------------------------------------------------------
+class TestTrackingMetrics:
+    def test_perfect_tracking_success_is_one(self):
+        dataset = _single_object_dataset()
+        results = _perfect_results(dataset)
+        assert success_rate(results, dataset, 0.5) == pytest.approx(1.0)
+
+    def test_offset_tracking_fails_at_high_threshold(self):
+        dataset = _single_object_dataset()
+        results = _offset_results(dataset, offset=10.0)
+        assert success_rate(results, dataset, 0.3) == pytest.approx(1.0)
+        assert success_rate(results, dataset, 0.5) == pytest.approx(0.0)
+
+    def test_success_curve_decreasing(self):
+        dataset = _single_object_dataset()
+        results = _offset_results(dataset, offset=3.0)
+        curve = success_curve(results, dataset)
+        thresholds = sorted(curve.keys())
+        values = [curve[t] for t in thresholds]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_absent_target_frames_are_skipped(self):
+        frames = np.zeros((3, 64, 96), dtype=np.uint8)
+        truth = {0: [BoundingBox(10, 10, 20, 20), None, BoundingBox(14, 10, 20, 20)]}
+        sequence = VideoSequence(name="gap", frames=frames, ground_truth=truth)
+        dataset = Dataset(name="gap_ds", sequences=[sequence])
+        results = [
+            SequenceResult(
+                "gap",
+                [
+                    FrameResult(0, FrameKind.INFERENCE, [Detection(box=truth[0][0], object_id=0)]),
+                    FrameResult(1, FrameKind.EXTRAPOLATION, [Detection(box=truth[0][0], object_id=0)]),
+                    FrameResult(2, FrameKind.EXTRAPOLATION, [Detection(box=truth[0][2], object_id=0)]),
+                ],
+            )
+        ]
+        evaluation = evaluate_tracking(results, dataset, 0.5)
+        assert evaluation.evaluated_frames == 2
+        assert evaluation.success_rate == pytest.approx(1.0)
+
+    def test_per_sequence_success_keys(self):
+        dataset = _single_object_dataset()
+        results = _perfect_results(dataset)
+        per_sequence = per_sequence_success(results, dataset, 0.5)
+        assert per_sequence == {"metric_seq": pytest.approx(1.0)}
+
+
+# ----------------------------------------------------------------------
+# Attribute breakdown
+# ----------------------------------------------------------------------
+class TestAttributeBreakdown:
+    def test_breakdown_reports_only_present_attributes(self):
+        dataset = _single_object_dataset()
+        results = _perfect_results(dataset)
+        breakdown = attribute_precision(results, dataset, 0.5)
+        assert breakdown == {VisualAttribute.OCCLUSION: pytest.approx(1.0)}
+
+    def test_breakdown_on_real_dataset(self, tiny_tracking_dataset):
+        from repro.core import build_pipeline, tracking_backend_for
+
+        pipeline = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=2)
+        results = pipeline.run_dataset(tiny_tracking_dataset)
+        breakdown = attribute_precision(results, tiny_tracking_dataset, 0.5)
+        assert breakdown
+        assert all(0.0 <= value <= 1.0 for value in breakdown.values())

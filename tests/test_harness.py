@@ -1,0 +1,85 @@
+"""Tests for the experiment harness and reporting utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.reporting import format_table
+from repro.harness.experiments import (
+    figure1_accuracy_vs_tops,
+    figure9b_detection_energy,
+    figure9c_compute_memory,
+    figure10b_tracking_energy,
+    table1_soc_configuration,
+    table2_workloads,
+)
+
+
+class TestReporting:
+    def test_table_contains_headers_and_rows(self):
+        table = format_table(["name", "value"], [["alpha", 1.25], ["beta", 0.5]])
+        lines = table.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert lines[1].startswith("-")
+        assert "alpha" in table and "1.25" in table
+
+    def test_formats_booleans_and_small_numbers(self):
+        table = format_table(["a", "b"], [[True, 0.00001], [False, 12345.0]])
+        assert "yes" in table and "no" in table
+        assert "1e-05" in table
+        assert "1.23e+04" in table
+
+    def test_zero_formatting(self):
+        assert "0" in format_table(["x"], [[0.0]])
+
+
+class TestStaticExperiments:
+    def test_figure1_rows(self):
+        rows = figure1_accuracy_vs_tops()
+        names = [row[0] for row in rows]
+        assert "YOLOv2" in names and "Haar" in names
+        # Hand-crafted approaches fit the budget; full CNN detectors do not.
+        by_name = {row[0]: row for row in rows}
+        assert by_name["Haar"][4] is True
+        assert by_name["YOLOv2"][4] is False
+
+    def test_table1_rows(self):
+        rows = table1_soc_configuration()
+        assert len(rows) == 5
+
+    def test_table2_rows(self):
+        rows = table2_workloads()
+        assert len(rows) == 4
+        gops = {row[1]: row[2] for row in rows}
+        assert gops["YOLOv2"] > gops["TinyYOLO"]
+        assert gops["YOLOv2"] == pytest.approx(3423, rel=0.15)
+
+
+class TestAnalyticEnergyExperiments:
+    def test_figure9b_shape(self):
+        result = figure9b_detection_energy(ew_values=(2, 4), num_frames=600)
+        assert result.normalized_energy("YOLOv2") == pytest.approx(1.0)
+        assert result.normalized_energy("EW-2") < 0.7
+        assert result.normalized_energy("EW-4") < result.normalized_energy("EW-2")
+        assert "EW-8@CPU" in result.breakdowns
+        assert "TinyYOLO" in result.breakdowns
+        headers = result.headers()
+        rows = result.rows()
+        assert all(len(row) == len(headers) for row in rows)
+
+    def test_figure9c_rows(self):
+        rows = figure9c_compute_memory(ew_values=(2, 4), num_frames=600)
+        labels = [row[0] for row in rows]
+        assert labels == ["YOLOv2", "EW-2", "EW-4"]
+        ops = {row[0]: row[1] for row in rows}
+        traffic = {row[0]: row[2] for row in rows}
+        assert ops["YOLOv2"] > ops["EW-2"] > ops["EW-4"]
+        assert traffic["YOLOv2"] > traffic["EW-2"] > traffic["EW-4"]
+
+    def test_figure10b_shape(self):
+        result = figure10b_tracking_energy(ew_values=(2, 4), num_frames=600,
+                                           adaptive_inference_rate=0.3)
+        assert result.normalized_energy("MDNet") == pytest.approx(1.0)
+        assert result.normalized_energy("EW-2") < 1.0
+        assert result.normalized_energy("EW-A") <= result.normalized_energy("EW-2") + 0.02
+        assert result.breakdowns["EW-A"].inference_rate == pytest.approx(0.3, abs=0.01)

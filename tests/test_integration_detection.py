@@ -1,0 +1,77 @@
+"""Integration tests: the object-detection scenario end to end (Sec. 6.1 shape)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_pipeline, detection_backend_for
+from repro.eval import average_precision
+from repro.nn.models import build_tiny_yolo, build_yolo_v2
+from repro.soc import VisionSoC
+
+
+@pytest.fixture(scope="module")
+def detection_runs(tiny_detection_dataset):
+    dataset = tiny_detection_dataset
+    runs = {}
+    for label, backend_name, window in (
+        ("YOLOv2", "yolov2", 1),
+        ("EW-2", "yolov2", 2),
+        ("EW-4", "yolov2", 4),
+        ("EW-32", "yolov2", 32),
+        ("TinyYOLO", "tinyyolo", 1),
+    ):
+        pipeline = build_pipeline(
+            detection_backend_for(backend_name, seed=9), extrapolation_window=window
+        )
+        runs[label] = pipeline.run_dataset(dataset)
+    return runs
+
+
+class TestDetectionAccuracyShape:
+    def test_baseline_is_accurate(self, detection_runs, tiny_detection_dataset):
+        assert average_precision(detection_runs["YOLOv2"], tiny_detection_dataset, 0.5) > 0.8
+
+    def test_ew2_loses_little_accuracy(self, detection_runs, tiny_detection_dataset):
+        """Paper: EW-2 costs only ~0.6% AP at IoU 0.5."""
+        dataset = tiny_detection_dataset
+        baseline = average_precision(detection_runs["YOLOv2"], dataset, 0.5)
+        ew2 = average_precision(detection_runs["EW-2"], dataset, 0.5)
+        assert baseline - ew2 < 0.06
+
+    def test_large_windows_hurt_more(self, detection_runs, tiny_detection_dataset):
+        dataset = tiny_detection_dataset
+        ew4 = average_precision(detection_runs["EW-4"], dataset, 0.5)
+        ew32 = average_precision(detection_runs["EW-32"], dataset, 0.5)
+        assert ew4 >= ew32
+
+    def test_tiny_yolo_less_accurate_than_ew32(self, detection_runs, tiny_detection_dataset):
+        """The paper's key comparison: extrapolation beats network truncation."""
+        dataset = tiny_detection_dataset
+        tiny = average_precision(detection_runs["TinyYOLO"], dataset, 0.5)
+        ew32 = average_precision(detection_runs["EW-32"], dataset, 0.5)
+        assert tiny < ew32
+
+    def test_multiple_objects_tracked_through_extrapolation(self, detection_runs):
+        for results in (detection_runs["EW-2"], detection_runs["EW-4"]):
+            for sequence_result in results:
+                extrapolated = [f for f in sequence_result.frames if f.is_extrapolated]
+                assert extrapolated
+                assert all(len(frame.detections) >= 2 for frame in extrapolated)
+
+
+class TestDetectionEnergyConsistency:
+    def test_headline_claims_with_measured_schedules(self, detection_runs):
+        """EW-2 roughly doubles FPS and saves >35% energy; Tiny YOLO is worse
+        than aggressive extrapolation in both energy and accuracy."""
+        soc = VisionSoC()
+        yolo = build_yolo_v2()
+        tiny = build_tiny_yolo()
+        baseline = soc.evaluate_results(yolo, detection_runs["YOLOv2"], label="YOLOv2")
+        ew2 = soc.evaluate_results(yolo, detection_runs["EW-2"], label="EW-2")
+        ew32 = soc.evaluate_results(yolo, detection_runs["EW-32"], label="EW-32")
+        tiny_result = soc.evaluate_results(tiny, detection_runs["TinyYOLO"], label="TinyYOLO")
+
+        assert ew2.fps > 1.8 * baseline.fps
+        assert ew2.energy_saving_vs(baseline) > 0.35
+        assert tiny_result.energy_per_frame_j > ew32.energy_per_frame_j

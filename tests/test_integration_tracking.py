@@ -1,0 +1,85 @@
+"""Integration tests: the tracking scenario end to end (Sec. 6.2 shape).
+
+These tests run the actual pipeline (ISP block matching + extrapolation +
+simulated MDNet) over a small synthetic OTB-like dataset and check that the
+qualitative results of the paper hold: small accuracy loss at small EW,
+growing loss at large EW, adaptive mode sitting between EW-2 and EW-4, and
+the energy model agreeing with the measured schedules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_pipeline, tracking_backend_for
+from repro.eval import success_rate
+from repro.nn.models import build_mdnet
+from repro.soc import VisionSoC
+
+
+@pytest.fixture(scope="module")
+def tracking_runs(tiny_combined_tracking_dataset):
+    """Run the pipeline once per configuration and cache the results."""
+    dataset = tiny_combined_tracking_dataset
+    runs = {}
+    for label, window in (("MDNet", 1), ("EW-2", 2), ("EW-4", 4), ("EW-32", 32), ("EW-A", "adaptive")):
+        pipeline = build_pipeline(tracking_backend_for("mdnet", seed=7), extrapolation_window=window)
+        results = pipeline.run_dataset(dataset)
+        runs[label] = results
+    return runs
+
+
+class TestTrackingAccuracyShape:
+    def test_baseline_is_accurate(self, tracking_runs, tiny_combined_tracking_dataset):
+        assert success_rate(tracking_runs["MDNet"], tiny_combined_tracking_dataset, 0.5) > 0.9
+
+    def test_ew2_loses_little_accuracy(self, tracking_runs, tiny_combined_tracking_dataset):
+        """Paper: EW-2 degrades success by only ~1% at IoU 0.5."""
+        dataset = tiny_combined_tracking_dataset
+        baseline = success_rate(tracking_runs["MDNet"], dataset, 0.5)
+        ew2 = success_rate(tracking_runs["EW-2"], dataset, 0.5)
+        assert baseline - ew2 < 0.08
+
+    def test_accuracy_degrades_with_window(self, tracking_runs, tiny_combined_tracking_dataset):
+        dataset = tiny_combined_tracking_dataset
+        ew2 = success_rate(tracking_runs["EW-2"], dataset, 0.5)
+        ew32 = success_rate(tracking_runs["EW-32"], dataset, 0.5)
+        assert ew2 > ew32
+        assert ew32 < 0.9  # large windows visibly hurt
+
+    def test_adaptive_mode_balances_accuracy_and_inference_rate(
+        self, tracking_runs, tiny_combined_tracking_dataset
+    ):
+        dataset = tiny_combined_tracking_dataset
+        adaptive_success = success_rate(tracking_runs["EW-A"], dataset, 0.5)
+        ew32_success = success_rate(tracking_runs["EW-32"], dataset, 0.5)
+        assert adaptive_success > ew32_success
+
+        def inference_rate(results):
+            total = sum(len(r) for r in results)
+            return sum(r.inference_count for r in results) / total
+
+        adaptive_rate = inference_rate(tracking_runs["EW-A"])
+        assert inference_rate(tracking_runs["MDNet"]) == pytest.approx(1.0)
+        assert adaptive_rate < 0.6  # meaningfully fewer inferences than baseline
+
+    def test_inference_rates_match_windows(self, tracking_runs):
+        def inference_rate(results):
+            total = sum(len(r) for r in results)
+            return sum(r.inference_count for r in results) / total
+
+        assert inference_rate(tracking_runs["EW-2"]) == pytest.approx(0.5, abs=0.05)
+        assert inference_rate(tracking_runs["EW-4"]) == pytest.approx(0.25, abs=0.05)
+
+
+class TestTrackingEnergyFromMeasuredSchedules:
+    def test_energy_saving_from_actual_runs(self, tracking_runs):
+        """Feed the measured I/E schedules into the SoC model (Fig. 10b path)."""
+        soc = VisionSoC()
+        mdnet = build_mdnet()
+        baseline = soc.evaluate_results(mdnet, tracking_runs["MDNet"], label="MDNet")
+        ew2 = soc.evaluate_results(mdnet, tracking_runs["EW-2"], label="EW-2")
+        adaptive = soc.evaluate_results(mdnet, tracking_runs["EW-A"], label="EW-A")
+        assert ew2.energy_saving_vs(baseline) > 0.1
+        assert adaptive.energy_per_frame_j <= ew2.energy_per_frame_j + 1e-6
+        assert baseline.fps == pytest.approx(60.0, rel=0.01)

@@ -1,0 +1,128 @@
+"""Tests for the classic ISP stages (dead-pixel correction, demosaic, WB, gamma)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.isp.sensor import CameraSensor, SensorConfig, bayer_channel_map
+from repro.isp.stages import (
+    DeadPixelCorrection,
+    Demosaic,
+    GammaCorrection,
+    WhiteBalance,
+    rgb_to_luma,
+)
+
+
+class TestDeadPixelCorrection:
+    def test_recovers_isolated_dead_pixel(self):
+        bayer = np.full((16, 16), 100.0)
+        bayer[8, 8] = 0.0
+        corrected = DeadPixelCorrection().process(bayer)
+        assert corrected[8, 8] == pytest.approx(100.0)
+
+    def test_leaves_healthy_pixels_untouched(self):
+        rng = np.random.default_rng(0)
+        bayer = rng.uniform(90, 110, (16, 16))
+        corrected = DeadPixelCorrection(detection_threshold=60.0).process(bayer)
+        assert np.allclose(corrected, bayer)
+
+    def test_threshold_controls_sensitivity(self):
+        bayer = np.full((16, 16), 100.0)
+        bayer[4, 4] = 70.0  # only 30 below the neighbourhood
+        strict = DeadPixelCorrection(detection_threshold=20.0).process(bayer)
+        lenient = DeadPixelCorrection(detection_threshold=50.0).process(bayer)
+        assert strict[4, 4] == pytest.approx(100.0)
+        assert lenient[4, 4] == pytest.approx(70.0)
+
+
+class TestDemosaic:
+    def test_requires_channel_map(self):
+        with pytest.raises(ValueError):
+            Demosaic().process(np.zeros((8, 8)))
+
+    def test_flat_grey_scene_reconstructs_flat_rgb(self):
+        height = width = 16
+        channel_map = bayer_channel_map(height, width)
+        bayer = np.full((height, width), 120.0)
+        rgb = Demosaic().process(bayer, channel_map=channel_map)
+        assert rgb.shape == (height, width, 3)
+        assert np.allclose(rgb, 120.0)
+
+    def test_preserves_exact_sensor_samples(self):
+        height = width = 8
+        channel_map = bayer_channel_map(height, width)
+        rng = np.random.default_rng(1)
+        bayer = rng.uniform(0, 255, (height, width))
+        rgb = Demosaic().process(bayer, channel_map=channel_map)
+        red_sites = channel_map == 0
+        assert np.allclose(rgb[..., 0][red_sites], bayer[red_sites])
+
+
+class TestWhiteBalance:
+    def test_balances_channel_means(self):
+        rgb = np.zeros((8, 8, 3))
+        rgb[..., 0] = 80.0
+        rgb[..., 1] = 100.0
+        rgb[..., 2] = 120.0
+        balanced = WhiteBalance().process(rgb)
+        means = balanced.reshape(-1, 3).mean(axis=0)
+        assert np.allclose(means, means.mean(), rtol=1e-6)
+
+    def test_requires_rgb(self):
+        with pytest.raises(ValueError):
+            WhiteBalance().process(np.zeros((8, 8)))
+
+    def test_output_clipped(self):
+        rgb = np.zeros((4, 4, 3))
+        rgb[..., 0] = 10.0
+        rgb[..., 1] = 250.0
+        rgb[..., 2] = 250.0
+        balanced = WhiteBalance().process(rgb)
+        assert balanced.max() <= 255.0
+
+
+class TestGamma:
+    def test_identity_gamma(self):
+        image = np.random.default_rng(2).uniform(0, 255, (8, 8, 3))
+        assert np.allclose(GammaCorrection(1.0).process(image), image)
+
+    def test_gamma_below_one_brightens(self):
+        image = np.full((4, 4, 3), 64.0)
+        brightened = GammaCorrection(0.5).process(image)
+        assert brightened.mean() > image.mean()
+
+    def test_invalid_gamma_rejected(self):
+        with pytest.raises(ValueError):
+            GammaCorrection(0.0)
+
+
+class TestLuma:
+    def test_grey_is_identity(self):
+        rgb = np.full((4, 4, 3), 77.0)
+        assert np.allclose(rgb_to_luma(rgb), 77.0)
+
+    def test_weights_sum_to_one(self):
+        rgb = np.zeros((1, 1, 3))
+        rgb[0, 0] = (255.0, 255.0, 255.0)
+        assert rgb_to_luma(rgb)[0, 0] == pytest.approx(255.0)
+
+    def test_rejects_non_rgb(self):
+        with pytest.raises(ValueError):
+            rgb_to_luma(np.zeros((4, 4)))
+
+
+class TestEndToEndBayerPath:
+    def test_capture_demosaic_roundtrip_preserves_scene(self, small_sequence):
+        """Sensor -> dead-pixel correction -> demosaic -> WB -> luma should
+        approximately reconstruct the original scene luma."""
+        scene = small_sequence.frame(0).astype(np.float64)
+        sensor = CameraSensor(SensorConfig(dead_pixel_fraction=1e-3), seed=5)
+        raw = sensor.capture(scene, 0)
+        corrected = DeadPixelCorrection().process(raw.bayer)
+        rgb = Demosaic().process(corrected, channel_map=raw.channel_map)
+        balanced = WhiteBalance().process(rgb)
+        luma = rgb_to_luma(balanced)
+        error = np.abs(luma - scene).mean()
+        assert error < 12.0

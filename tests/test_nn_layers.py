@@ -1,0 +1,63 @@
+"""Tests for the CNN layer descriptors and their accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nn.layers import ConvLayer, FullyConnectedLayer, PoolLayer
+
+
+class TestConvLayer:
+    def test_same_padding_preserves_size(self):
+        layer = ConvLayer("c", 32, 32, 16, 32, kernel_size=3, stride=1)
+        assert layer.output_shape == (32, 32, 32)
+
+    def test_stride_two_halves_size(self):
+        layer = ConvLayer("c", 32, 32, 16, 32, kernel_size=3, stride=2)
+        out_h, out_w, _ = layer.output_shape
+        assert out_h == 16 and out_w == 16
+
+    def test_explicit_padding(self):
+        layer = ConvLayer("c", 107, 107, 3, 96, kernel_size=7, stride=2, padding=0)
+        out_h, _, _ = layer.output_shape
+        assert out_h == (107 - 7) // 2 + 1
+
+    def test_mac_count(self):
+        layer = ConvLayer("c", 8, 8, 4, 8, kernel_size=3, stride=1)
+        # 8*8 output pixels * 8 out channels * 4 in channels * 9.
+        assert layer.macs == 8 * 8 * 8 * 4 * 9
+        assert layer.ops == 2 * layer.macs
+
+    def test_parameter_count(self):
+        layer = ConvLayer("c", 8, 8, 4, 8, kernel_size=3)
+        assert layer.parameters == 8 * 4 * 9 + 8
+
+    def test_output_activations(self):
+        layer = ConvLayer("c", 8, 8, 4, 8, kernel_size=3)
+        assert layer.output_activations == 8 * 8 * 8
+
+
+class TestPoolLayer:
+    def test_output_shape_halves(self):
+        layer = PoolLayer("p", 32, 32, 64, kernel_size=2, stride=2)
+        assert layer.output_shape == (16, 16, 64)
+
+    def test_no_macs_but_some_ops(self):
+        layer = PoolLayer("p", 32, 32, 64)
+        assert layer.macs == 0
+        assert layer.ops == 32 * 32 * 64
+        assert layer.parameters == 0
+
+    def test_stride_one_pool(self):
+        layer = PoolLayer("p", 13, 13, 512, kernel_size=2, stride=1)
+        out_h, out_w, _ = layer.output_shape
+        assert out_h == 12 and out_w == 12
+
+
+class TestFullyConnectedLayer:
+    def test_macs_and_params(self):
+        layer = FullyConnectedLayer("fc", 512, 128)
+        assert layer.macs == 512 * 128
+        assert layer.parameters == 512 * 128 + 128
+        assert layer.output_shape == (1, 1, 128)
+        assert layer.output_activations == 128

@@ -1,0 +1,90 @@
+"""Tests for the network workload models (Table 2 / Fig. 1 calibration)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nn.models import (
+    FIG1_REFERENCE_DETECTORS,
+    MOBILE_TOPS_BUDGET,
+    build_mdnet,
+    build_tiny_yolo,
+    build_yolo_v2,
+    get_network,
+)
+
+
+class TestTable2Calibration:
+    """The GOPS-at-60-FPS numbers should land near the paper's Table 2."""
+
+    def test_yolo_v2_gops(self):
+        assert build_yolo_v2().gops_at_fps(60.0) == pytest.approx(3423, rel=0.15)
+
+    def test_tiny_yolo_gops(self):
+        assert build_tiny_yolo().gops_at_fps(60.0) == pytest.approx(675, rel=0.15)
+
+    def test_mdnet_gops(self):
+        assert build_mdnet().gops_at_fps(60.0) == pytest.approx(635, rel=0.15)
+
+    def test_relative_ordering(self):
+        yolo = build_yolo_v2().ops_per_frame
+        tiny = build_tiny_yolo().ops_per_frame
+        assert yolo > 4 * tiny  # Tiny YOLO is an ~80% MAC reduction
+
+    def test_yolo_exceeds_mobile_budget_but_tiny_does_not(self):
+        """Fig. 1's motivation: full detectors exceed ~1 TOPS, Tiny YOLO fits."""
+        assert build_yolo_v2().gops_at_fps(60.0) / 1000.0 > MOBILE_TOPS_BUDGET
+        assert build_tiny_yolo().gops_at_fps(60.0) / 1000.0 < MOBILE_TOPS_BUDGET
+
+
+class TestNetworkSpec:
+    def test_layer_counts(self):
+        assert len(build_yolo_v2().conv_layers()) == 22
+        assert len(build_tiny_yolo().conv_layers()) == 9
+
+    def test_parameters_are_positive_and_ordered(self):
+        assert build_yolo_v2().total_parameters > build_tiny_yolo().total_parameters > 0
+
+    def test_mdnet_candidates_multiply_frame_cost(self):
+        few = build_mdnet(candidates_per_frame=1)
+        many = build_mdnet(candidates_per_frame=10)
+        assert many.ops_per_frame == 10 * few.ops_per_frame
+        assert many.ops_per_evaluation == few.ops_per_evaluation
+
+    def test_describe_mentions_name_and_gops(self):
+        text = build_tiny_yolo().describe()
+        assert "TinyYOLO" in text
+        assert "GOPS" in text
+
+    def test_weight_bytes_follow_precision(self):
+        net = build_tiny_yolo()
+        assert net.weight_bytes == net.total_parameters * net.bytes_per_value
+
+
+class TestLookup:
+    def test_get_network_variants(self):
+        assert get_network("YOLOv2").name == "YOLOv2"
+        assert get_network("tiny-yolo").name == "TinyYOLO"
+        assert get_network("MD Net").name == "MDNet"
+
+    def test_unknown_network(self):
+        with pytest.raises(KeyError):
+            get_network("resnet50")
+
+
+class TestFig1References:
+    def test_reference_set_contains_expected_detectors(self):
+        names = {ref.name for ref in FIG1_REFERENCE_DETECTORS}
+        assert {"Haar", "HOG", "Tiny YOLO", "SSD", "YOLOv2", "Faster R-CNN"} <= names
+
+    def test_cnns_are_more_accurate_than_handcrafted(self):
+        cnn_accuracy = min(r.accuracy_percent for r in FIG1_REFERENCE_DETECTORS if r.is_cnn)
+        handcrafted_accuracy = max(
+            r.accuracy_percent for r in FIG1_REFERENCE_DETECTORS if not r.is_cnn
+        )
+        assert cnn_accuracy > handcrafted_accuracy
+
+    def test_full_cnn_detectors_exceed_budget(self):
+        for reference in FIG1_REFERENCE_DETECTORS:
+            if reference.name in {"SSD", "YOLOv2", "Faster R-CNN"}:
+                assert reference.tops_at_480p60 > MOBILE_TOPS_BUDGET

@@ -1,0 +1,162 @@
+"""Tests for the end-to-end Euphrates pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.backends import tracking_backend_for, detection_backend_for
+from repro.core.pipeline import EuphratesConfig, EuphratesPipeline, build_pipeline
+from repro.core.types import FrameKind
+from repro.core.window import AdaptiveWindowController, ConstantWindowController
+from repro.motion.block_matching import SearchStrategy
+
+
+class TestScheduling:
+    def test_first_frame_is_always_inference(self, small_sequence):
+        pipeline = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=8)
+        result = pipeline.run(small_sequence)
+        assert result.frames[0].kind is FrameKind.INFERENCE
+
+    def test_constant_window_pattern(self, small_sequence):
+        pipeline = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=4)
+        result = pipeline.run(small_sequence)
+        kinds = [frame.kind for frame in result.frames]
+        # Frames 0, 4, 8, ... are I-frames; everything else is extrapolated.
+        for index, kind in enumerate(kinds):
+            expected = FrameKind.INFERENCE if index % 4 == 0 else FrameKind.EXTRAPOLATION
+            assert kind is expected
+
+    def test_ew1_never_extrapolates(self, small_sequence):
+        pipeline = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=1)
+        result = pipeline.run(small_sequence)
+        assert result.extrapolation_count == 0
+        assert result.inference_rate == 1.0
+
+    def test_inference_rate_matches_window(self, small_sequence):
+        pipeline = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=2)
+        result = pipeline.run(small_sequence)
+        assert result.inference_rate == pytest.approx(0.5, abs=0.05)
+
+    def test_disabled_motion_vectors_forces_inference(self, small_sequence):
+        """Without the Euphrates ISP augmentation every frame is an I-frame."""
+        pipeline = build_pipeline(
+            tracking_backend_for("mdnet"),
+            extrapolation_window=4,
+            expose_motion_vectors=False,
+        )
+        result = pipeline.run(small_sequence)
+        assert result.inference_rate == 1.0
+
+    def test_window_size_recorded_per_frame(self, small_sequence):
+        pipeline = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=4)
+        result = pipeline.run(small_sequence)
+        assert {frame.window_size for frame in result.frames} == {4}
+
+
+class TestResults:
+    def test_every_frame_has_a_result(self, small_sequence):
+        pipeline = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=2)
+        result = pipeline.run(small_sequence)
+        assert len(result) == small_sequence.num_frames
+        assert all(frame.detections for frame in result.frames)
+
+    def test_extrapolated_frames_are_flagged(self, small_sequence):
+        pipeline = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=2)
+        result = pipeline.run(small_sequence)
+        for frame in result.frames:
+            for detection in frame.detections:
+                assert detection.extrapolated == frame.is_extrapolated
+
+    def test_extrapolated_boxes_follow_target(self, small_sequence):
+        pipeline = build_pipeline(tracking_backend_for("mdnet", seed=3), extrapolation_window=2)
+        result = pipeline.run(small_sequence)
+        target = small_sequence.primary_object_id
+        ious = []
+        for frame in result.frames:
+            if not frame.is_extrapolated:
+                continue
+            truth = small_sequence.truth_for(target)[frame.frame_index]
+            if truth is None:
+                continue
+            ious.append(frame.best_for(truth).box.iou(truth))
+        assert ious
+        assert sum(ious) / len(ious) > 0.6
+
+    def test_detection_pipeline_handles_multiple_objects(self, multi_object_sequence):
+        pipeline = build_pipeline(detection_backend_for("yolov2", seed=2), extrapolation_window=2)
+        result = pipeline.run(multi_object_sequence)
+        extrapolated_frames = [f for f in result.frames if f.is_extrapolated]
+        assert extrapolated_frames
+        assert all(len(f.detections) >= 2 for f in extrapolated_frames)
+
+    def test_run_dataset_returns_one_result_per_sequence(self, tiny_tracking_dataset):
+        pipeline = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=4)
+        results = pipeline.run_dataset(tiny_tracking_dataset)
+        assert len(results) == len(tiny_tracking_dataset)
+        names = {result.sequence_name for result in results}
+        assert names == {sequence.name for sequence in tiny_tracking_dataset}
+
+    def test_extrapolation_ops_accumulate(self, small_sequence):
+        pipeline = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=2)
+        pipeline.run(small_sequence)
+        assert pipeline.total_extrapolation_ops > 0
+
+
+class TestAdaptiveMode:
+    def test_adaptive_controller_receives_feedback(self, small_sequence):
+        controller = AdaptiveWindowController(initial_window=2)
+        pipeline = EuphratesPipeline(tracking_backend_for("mdnet"), controller)
+        pipeline.run(small_sequence)
+        assert controller.history  # disagreement was observed at I-frames
+
+    def test_adaptive_window_varies(self, tiny_tracking_dataset):
+        controller = AdaptiveWindowController(initial_window=2, max_window=8)
+        pipeline = EuphratesPipeline(tracking_backend_for("mdnet"), controller)
+        results = pipeline.run_dataset(tiny_tracking_dataset)
+        windows = {f.window_size for r in results for f in r.frames}
+        assert len(windows) > 1  # the window actually adapted
+
+    def test_build_pipeline_adaptive_string(self):
+        pipeline = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window="adaptive")
+        assert isinstance(pipeline.window_controller, AdaptiveWindowController)
+        with pytest.raises(ValueError):
+            build_pipeline(tracking_backend_for("mdnet"), extrapolation_window="sometimes")
+
+
+class TestBuildPipelineOptions:
+    def test_block_size_and_strategy_propagate(self):
+        pipeline = build_pipeline(
+            tracking_backend_for("mdnet"),
+            extrapolation_window=2,
+            block_size=32,
+            exhaustive_search=True,
+            sub_roi_grid=(1, 1),
+        )
+        assert pipeline.config.block_matching.block_size == 32
+        assert pipeline.config.block_matching.strategy is SearchStrategy.EXHAUSTIVE
+        assert pipeline.config.extrapolation.sub_roi_grid == (1, 1)
+
+    def test_default_controller_is_constant(self):
+        pipeline = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=3)
+        assert isinstance(pipeline.window_controller, ConstantWindowController)
+        assert pipeline.window_controller.current_window == 3
+
+
+class TestDisagreementMetric:
+    def test_identical_results_have_zero_disagreement(self):
+        from repro.core.geometry import BoundingBox
+        from repro.core.types import Detection
+
+        detections = [Detection(box=BoundingBox(0, 0, 10, 10), object_id=1)]
+        assert EuphratesPipeline._disagreement(detections, detections) == pytest.approx(0.0)
+
+    def test_disjoint_results_have_full_disagreement(self):
+        from repro.core.geometry import BoundingBox
+        from repro.core.types import Detection
+
+        inferred = [Detection(box=BoundingBox(0, 0, 10, 10), object_id=1)]
+        predicted = [Detection(box=BoundingBox(50, 50, 10, 10), object_id=1)]
+        assert EuphratesPipeline._disagreement(inferred, predicted) == pytest.approx(1.0)
+
+    def test_empty_lists_have_zero_disagreement(self):
+        assert EuphratesPipeline._disagreement([], []) == 0.0

@@ -1,0 +1,69 @@
+"""Tests for the SAD matching metric."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.motion.sad import normalized_sad, sad_map, sum_of_absolute_differences
+
+
+class TestSAD:
+    def test_identical_blocks_have_zero_sad(self):
+        block = np.full((8, 8), 120.0)
+        assert sum_of_absolute_differences(block, block) == 0.0
+
+    def test_known_difference(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 3.0)
+        assert sum_of_absolute_differences(a, b) == 48.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            sum_of_absolute_differences(np.zeros((4, 4)), np.zeros((4, 5)))
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(0)
+        a = rng.uniform(0, 255, (8, 8))
+        b = rng.uniform(0, 255, (8, 8))
+        assert sum_of_absolute_differences(a, b) == pytest.approx(
+            sum_of_absolute_differences(b, a)
+        )
+
+
+class TestNormalizedSAD:
+    def test_maximum_difference_is_one(self):
+        a = np.zeros((8, 8))
+        b = np.full((8, 8), 255.0)
+        assert normalized_sad(a, b) == pytest.approx(1.0)
+
+    def test_identical_is_zero(self):
+        a = np.full((8, 8), 42.0)
+        assert normalized_sad(a, a) == 0.0
+
+    def test_bounded(self):
+        rng = np.random.default_rng(1)
+        a = rng.uniform(0, 255, (16, 16))
+        b = rng.uniform(0, 255, (16, 16))
+        assert 0.0 <= normalized_sad(a, b) <= 1.0
+
+
+class TestSADMap:
+    def test_per_block_values(self):
+        current = np.zeros((8, 8))
+        reference = np.zeros((8, 8))
+        reference[:4, :4] = 2.0  # only the top-left 4x4 block differs
+        result = sad_map(current, reference, 4)
+        assert result.shape == (2, 2)
+        assert result[0, 0] == 32.0
+        assert result[0, 1] == 0.0
+        assert result[1, 0] == 0.0
+        assert result[1, 1] == 0.0
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            sad_map(np.zeros((8, 8)), np.zeros((8, 4)), 4)
+
+    def test_rejects_non_multiple_block(self):
+        with pytest.raises(ValueError):
+            sad_map(np.zeros((10, 10)), np.zeros((10, 10)), 4)

@@ -1,0 +1,190 @@
+"""Tests for the SoC-level energy / performance model (Figs. 9b, 9c, 10b)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.types import FrameKind, FrameResult, SequenceResult
+from repro.nn.models import build_mdnet, build_tiny_yolo, build_yolo_v2
+from repro.soc.soc import FrameSchedule, VisionSoC
+
+
+@pytest.fixture(scope="module")
+def soc():
+    return VisionSoC()
+
+
+@pytest.fixture(scope="module")
+def yolo():
+    return build_yolo_v2()
+
+
+@pytest.fixture(scope="module")
+def mdnet():
+    return build_mdnet()
+
+
+class TestFrameSchedule:
+    def test_constant_ew_counts(self):
+        schedule = FrameSchedule.constant_ew(4, num_frames=100)
+        assert schedule.inference_frames == 25
+        assert schedule.extrapolation_frames == 75
+        assert schedule.inference_rate == pytest.approx(0.25)
+
+    def test_ew1_is_all_inference(self):
+        schedule = FrameSchedule.constant_ew(1, num_frames=50)
+        assert schedule.inference_frames == 50
+        assert schedule.extrapolation_frames == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrameSchedule(num_frames=0, inference_frames=0, extrapolation_frames=0)
+        with pytest.raises(ValueError):
+            FrameSchedule(num_frames=10, inference_frames=4, extrapolation_frames=4)
+        with pytest.raises(ValueError):
+            FrameSchedule.constant_ew(0)
+
+    def test_from_results(self):
+        frames = [
+            FrameResult(0, FrameKind.INFERENCE, []),
+            FrameResult(1, FrameKind.EXTRAPOLATION, []),
+            FrameResult(2, FrameKind.EXTRAPOLATION, []),
+            FrameResult(3, FrameKind.INFERENCE, []),
+        ]
+        results = [SequenceResult("a", frames), SequenceResult("b", frames)]
+        schedule = FrameSchedule.from_results(results)
+        assert schedule.num_frames == 8
+        assert schedule.inference_frames == 4
+        assert schedule.rois_per_frame == 1.0  # floor of one ROI
+
+
+class TestDetectionScenario:
+    """The headline detection results of Sec. 6.1."""
+
+    def test_baseline_fps_near_17(self, soc, yolo):
+        baseline = soc.evaluate_constant_ew(yolo, 1)
+        assert 14.0 <= baseline.fps <= 22.0
+
+    def test_ew2_doubles_fps_and_saves_energy(self, soc, yolo):
+        baseline = soc.evaluate_constant_ew(yolo, 1)
+        ew2 = soc.evaluate_constant_ew(yolo, 2)
+        assert ew2.fps == pytest.approx(2 * baseline.fps, rel=0.05)
+        saving = ew2.energy_saving_vs(baseline)
+        assert 0.35 <= saving <= 0.60  # paper: 45%
+
+    def test_ew4_reaches_real_time_with_large_saving(self, soc, yolo):
+        baseline = soc.evaluate_constant_ew(yolo, 1)
+        ew4 = soc.evaluate_constant_ew(yolo, 4)
+        assert ew4.fps == pytest.approx(60.0, rel=0.01)
+        saving = ew4.energy_saving_vs(baseline)
+        assert 0.55 <= saving <= 0.80  # paper: 66%
+
+    def test_energy_decreases_monotonically_with_ew(self, soc, yolo):
+        energies = [
+            soc.evaluate_constant_ew(yolo, window).energy_per_frame_j
+            for window in (1, 2, 4, 8, 16, 32)
+        ]
+        assert all(a > b for a, b in zip(energies, energies[1:]))
+
+    def test_diminishing_returns_beyond_ew8(self, soc, yolo):
+        """Frontend + memory dominate at large EW, so savings flatten out."""
+        baseline = soc.evaluate_constant_ew(yolo, 1)
+        ew8 = soc.evaluate_constant_ew(yolo, 8).normalized_to(baseline)
+        ew32 = soc.evaluate_constant_ew(yolo, 32).normalized_to(baseline)
+        assert (ew8 - ew32) < 0.10
+
+    def test_frontend_energy_constant_at_capped_fps(self, soc, yolo):
+        ew4 = soc.evaluate_constant_ew(yolo, 4)
+        ew32 = soc.evaluate_constant_ew(yolo, 32)
+        assert ew4.frontend_energy_per_frame_j == pytest.approx(
+            ew32.frontend_energy_per_frame_j, rel=0.01
+        )
+
+    def test_cpu_extrapolation_negates_most_of_the_benefit(self, soc, yolo):
+        """EW-8@CPU costs about as much as EW-4 on the dedicated IP (Fig. 9b)."""
+        ew4 = soc.evaluate_constant_ew(yolo, 4)
+        ew8 = soc.evaluate_constant_ew(yolo, 8)
+        ew8_cpu = soc.evaluate_constant_ew(yolo, 8, extrapolation_on_cpu=True)
+        assert ew8_cpu.energy_per_frame_j > 1.3 * ew8.energy_per_frame_j
+        assert ew8_cpu.energy_per_frame_j == pytest.approx(ew4.energy_per_frame_j, rel=0.25)
+
+    def test_tiny_yolo_worse_than_ew32(self, soc, yolo):
+        """Tiny YOLO burns more energy than EW-32 despite its truncated network."""
+        tiny = soc.evaluate_constant_ew(build_tiny_yolo(), 1)
+        ew32 = soc.evaluate_constant_ew(yolo, 32)
+        assert tiny.energy_per_frame_j > 1.3 * ew32.energy_per_frame_j
+
+    def test_iframe_and_eframe_traffic_match_paper_scale(self, soc, yolo):
+        """Fig. 9c: I-frames ~646 MB, E-frames tens of MB."""
+        baseline = soc.evaluate_constant_ew(yolo, 1)
+        assert baseline.traffic_per_frame_bytes == pytest.approx(646e6, rel=0.20)
+        ew32 = soc.evaluate_constant_ew(yolo, 32)
+        eframe_traffic = (
+            ew32.total_traffic_bytes
+            - ew32.inference_rate * ew32.num_frames * baseline.traffic_per_frame_bytes
+        ) / (ew32.num_frames * (1 - ew32.inference_rate))
+        assert 15e6 <= eframe_traffic <= 35e6
+
+    def test_ops_per_frame_scale_with_inference_rate(self, soc, yolo):
+        baseline = soc.evaluate_constant_ew(yolo, 1)
+        ew4 = soc.evaluate_constant_ew(yolo, 4)
+        assert ew4.ops_per_frame == pytest.approx(baseline.ops_per_frame / 4, rel=0.01)
+
+
+class TestTrackingScenario:
+    """The headline tracking results of Sec. 6.2."""
+
+    def test_baseline_mdnet_achieves_60fps(self, soc, mdnet):
+        assert soc.evaluate_constant_ew(mdnet, 1).fps == pytest.approx(60.0, rel=0.01)
+
+    def test_ew2_saves_backend_energy(self, soc, mdnet):
+        baseline = soc.evaluate_constant_ew(mdnet, 1)
+        ew2 = soc.evaluate_constant_ew(mdnet, 2)
+        saving = ew2.energy_saving_vs(baseline)
+        assert 0.15 <= saving <= 0.40  # paper: 21%
+        backend_saving = 1.0 - (
+            ew2.backend_energy_per_frame_j / baseline.backend_energy_per_frame_j
+        )
+        assert 0.4 <= backend_saving <= 0.6  # paper: ~50% backend saving
+
+    def test_savings_saturate_at_large_ew(self, soc, mdnet):
+        baseline = soc.evaluate_constant_ew(mdnet, 1)
+        ew16 = soc.evaluate_constant_ew(mdnet, 16).normalized_to(baseline)
+        ew32 = soc.evaluate_constant_ew(mdnet, 32).normalized_to(baseline)
+        assert ew16 - ew32 < 0.05
+        assert ew32 > 0.3  # frontend + memory put a floor under the energy
+
+    def test_inference_rate_reported(self, soc, mdnet):
+        ew4 = soc.evaluate_constant_ew(mdnet, 4)
+        assert ew4.inference_rate == pytest.approx(0.25, abs=0.01)
+
+    def test_evaluate_results_uses_actual_schedule(self, soc, mdnet):
+        frames = [FrameResult(0, FrameKind.INFERENCE, [])] + [
+            FrameResult(i, FrameKind.EXTRAPOLATION, []) for i in range(1, 10)
+        ]
+        results = [SequenceResult("seq", frames)]
+        breakdown = soc.evaluate_results(mdnet, results)
+        assert breakdown.inference_rate == pytest.approx(0.1)
+        assert breakdown.num_frames == 10
+
+
+class TestEnergyBreakdownArithmetic:
+    def test_components_sum_to_total(self, soc, yolo):
+        breakdown = soc.evaluate_constant_ew(yolo, 4)
+        assert breakdown.total_energy_j == pytest.approx(
+            breakdown.frontend_energy_j
+            + breakdown.memory_energy_j
+            + breakdown.backend_energy_j
+            + breakdown.cpu_energy_j
+        )
+        per_frame_sum = (
+            breakdown.frontend_energy_per_frame_j
+            + breakdown.memory_energy_per_frame_j
+            + breakdown.backend_energy_per_frame_j
+        )
+        assert per_frame_sum == pytest.approx(breakdown.energy_per_frame_j)
+
+    def test_normalization_identity(self, soc, yolo):
+        baseline = soc.evaluate_constant_ew(yolo, 1)
+        assert baseline.normalized_to(baseline) == pytest.approx(1.0)
+        assert baseline.energy_saving_vs(baseline) == pytest.approx(0.0)

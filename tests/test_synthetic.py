@@ -1,0 +1,156 @@
+"""Tests for the synthetic sequence generator and VideoSequence container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import BoundingBox
+from repro.video.attributes import VisualAttribute
+from repro.video.sequence import VideoSequence
+from repro.video.synthetic import SequenceConfig, SequenceGenerator
+
+
+class TestSequenceConfigValidation:
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            SequenceConfig(num_frames=0)
+        with pytest.raises(ValueError):
+            SequenceConfig(num_objects=0)
+        with pytest.raises(ValueError):
+            SequenceConfig(frame_width=8)
+
+
+class TestGeneratedSequence:
+    def test_shape_and_dtype(self, small_sequence):
+        assert small_sequence.frames.dtype == np.uint8
+        assert small_sequence.frames.shape == (24, 108, 192)
+        assert small_sequence.num_frames == 24
+        assert small_sequence.width == 192
+        assert small_sequence.height == 108
+
+    def test_ground_truth_every_frame(self, small_sequence):
+        truth = small_sequence.truth_for(small_sequence.primary_object_id)
+        assert len(truth) == small_sequence.num_frames
+        assert all(box is None or isinstance(box, BoundingBox) for box in truth)
+        # A plain sequence keeps the target visible the whole time.
+        assert all(box is not None for box in truth)
+
+    def test_determinism(self):
+        config = SequenceConfig(name="deterministic", num_frames=10, seed=77)
+        a = SequenceGenerator(config).generate()
+        b = SequenceGenerator(config).generate()
+        assert np.array_equal(a.frames, b.frames)
+        assert a.truth_for(0)[5].as_xywh() == b.truth_for(0)[5].as_xywh()
+
+    def test_different_seeds_differ(self):
+        a = SequenceGenerator(SequenceConfig(num_frames=10, seed=1)).generate()
+        b = SequenceGenerator(SequenceConfig(num_frames=10, seed=2)).generate()
+        assert not np.array_equal(a.frames, b.frames)
+
+    def test_object_moves_between_frames(self, small_sequence):
+        truth = small_sequence.truth_for(small_sequence.primary_object_id)
+        first, last = truth[0], truth[-1]
+        displacement = abs(first.center.x - last.center.x) + abs(first.center.y - last.center.y)
+        assert displacement > 3.0
+
+    def test_ground_truth_stays_inside_frame(self, small_sequence):
+        for box in small_sequence.truth_for(0):
+            assert box.left >= -1e-6
+            assert box.top >= -1e-6
+            assert box.right <= small_sequence.width + 1e-6
+            assert box.bottom <= small_sequence.height + 1e-6
+
+    def test_multi_object_annotations(self, multi_object_sequence):
+        assert len(multi_object_sequence.object_ids) == 4
+        assert multi_object_sequence.average_objects_per_frame() > 2.0
+        detections = multi_object_sequence.truth_detections(0)
+        assert len(detections) >= 3
+        labels = {d.label for d in detections}
+        assert all(isinstance(label, str) and label for label in labels)
+
+
+class TestAttributeEffects:
+    def test_fast_motion_moves_faster(self, small_sequence, fast_motion_sequence):
+        def mean_speed(sequence):
+            truth = sequence.truth_for(sequence.primary_object_id)
+            speeds = []
+            for a, b in zip(truth[:-1], truth[1:]):
+                if a is None or b is None:
+                    continue
+                speeds.append(
+                    abs(b.center.x - a.center.x) + abs(b.center.y - a.center.y)
+                )
+            return float(np.mean(speeds))
+
+        assert mean_speed(fast_motion_sequence) > 2.0 * mean_speed(small_sequence)
+
+    def test_out_of_view_attribute_produces_gaps(self):
+        config = SequenceConfig(
+            name="oov",
+            num_frames=30,
+            seed=3,
+            attributes=frozenset({VisualAttribute.OUT_OF_VIEW}),
+        )
+        sequence = SequenceGenerator(config).generate()
+        truth = sequence.truth_for(0)
+        assert any(box is None for box in truth)
+
+    def test_illumination_variation_changes_brightness(self):
+        config = SequenceConfig(
+            name="illum",
+            num_frames=40,
+            seed=4,
+            attributes=frozenset({VisualAttribute.ILLUMINATION_VARIATION}),
+        )
+        sequence = SequenceGenerator(config).generate()
+        means = sequence.frames.mean(axis=(1, 2))
+        assert means.max() - means.min() > 10.0
+
+    def test_background_clutter_raises_texture(self):
+        plain = SequenceGenerator(SequenceConfig(num_frames=5, seed=5)).generate()
+        cluttered = SequenceGenerator(
+            SequenceConfig(
+                num_frames=5,
+                seed=5,
+                attributes=frozenset({VisualAttribute.BACKGROUND_CLUTTER}),
+            )
+        ).generate()
+        assert cluttered.frames[0].std() > plain.frames[0].std()
+
+    def test_attributes_recorded_on_sequence(self, fast_motion_sequence):
+        assert fast_motion_sequence.has_attribute(VisualAttribute.FAST_MOTION)
+        assert not fast_motion_sequence.has_attribute(VisualAttribute.OCCLUSION)
+
+
+class TestVideoSequenceValidation:
+    def test_rejects_wrong_annotation_length(self):
+        frames = np.zeros((5, 32, 32), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            VideoSequence(
+                name="bad",
+                frames=frames,
+                ground_truth={0: [BoundingBox(0, 0, 4, 4)] * 3},
+            )
+
+    def test_rejects_non_3d_frames(self):
+        with pytest.raises(ValueError):
+            VideoSequence(name="bad", frames=np.zeros((32, 32)), ground_truth={})
+
+    def test_truth_at_skips_absent_objects(self):
+        frames = np.zeros((2, 32, 32), dtype=np.uint8)
+        sequence = VideoSequence(
+            name="partial",
+            frames=frames,
+            ground_truth={0: [BoundingBox(0, 0, 4, 4), None]},
+        )
+        assert list(sequence.truth_at(0).keys()) == [0]
+        assert sequence.truth_at(1) == {}
+        assert sequence.total_annotations() == 1
+
+    def test_primary_object_requires_annotations(self):
+        sequence = VideoSequence(
+            name="empty", frames=np.zeros((1, 32, 32), dtype=np.uint8), ground_truth={}
+        )
+        with pytest.raises(ValueError):
+            _ = sequence.primary_object_id
