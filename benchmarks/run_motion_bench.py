@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Dump the motion-estimation perf trajectory to ``BENCH_motion.json``.
+
+Run from the repository root:
+
+    PYTHONPATH=src python benchmarks/run_motion_bench.py
+
+Writes fps / per-frame latency / analytical op counts for the vectorized
+three-step search (and the scalar oracle it must beat) on synthetic
+720p/1080p sequences.  Commit the refreshed JSON so future PRs can see the
+perf trend.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+from pathlib import Path
+
+from repro.harness.perf import benchmark_motion_estimation
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_motion.json",
+        help="where to write the benchmark JSON (default: repo-root BENCH_motion.json)",
+    )
+    parser.add_argument(
+        "--frames", type=int, default=4, help="frames per synthetic sequence"
+    )
+    parser.add_argument(
+        "--skip-scalar",
+        action="store_true",
+        help="skip the slow scalar-oracle timing (no speedup column)",
+    )
+    args = parser.parse_args()
+
+    payload = benchmark_motion_estimation(
+        num_frames=args.frames, include_scalar=not args.skip_scalar
+    )
+    payload["python"] = platform.python_version()
+    payload["machine"] = platform.machine()
+
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    for entry in payload["results"]:
+        line = (
+            f"  {entry['resolution']:>6}: vectorized {entry['vectorized_fps']:.1f} fps"
+        )
+        if "speedup" in entry:
+            line += (
+                f", scalar {entry['scalar_fps']:.2f} fps, "
+                f"speedup {entry['speedup']:.1f}x"
+            )
+        print(line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""The vectorized motion-estimation engine vs the scalar reference oracle.
+
+Runs ES and TSS on a synthetic 720p frame pair, shows that the vectorized
+three-step search is bit-identical to the per-macroblock scalar loops it
+replaced, and prints the throughput gap.
+
+Run with:  PYTHONPATH=src python examples/motion_engine_demo.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.harness.perf import synthetic_luma_sequence
+from repro.motion import BlockMatcher, BlockMatchingConfig, SearchStrategy, scalar_estimate
+
+
+def main() -> None:
+    frames = synthetic_luma_sequence(720, 1280, 3, seed=42)
+    current, previous = frames[2], frames[1]
+
+    matcher = BlockMatcher(BlockMatchingConfig(strategy=SearchStrategy.THREE_STEP))
+    start = time.perf_counter()
+    field = matcher.estimate(current, previous)
+    vectorized_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    oracle = scalar_estimate(current, previous)
+    scalar_s = time.perf_counter() - start
+
+    identical = np.array_equal(field.vectors, oracle.vectors) and np.array_equal(
+        field.sad, oracle.sad
+    )
+    print(f"720p three-step search over {field.grid.num_blocks} macroblocks")
+    print(f"  vectorized: {vectorized_s * 1e3:7.1f} ms  ({1 / vectorized_s:5.1f} fps)")
+    print(f"  scalar:     {scalar_s * 1e3:7.1f} ms  ({1 / scalar_s:5.1f} fps)")
+    print(f"  speedup:    {scalar_s / vectorized_s:7.1f} x")
+    print(f"  bit-identical to the scalar oracle: {identical}")
+    print(f"  mean motion: {field.mean_motion()}, ops/frame: {matcher.last_operation_count:,}")
+
+    es = BlockMatcher(BlockMatchingConfig(strategy=SearchStrategy.EXHAUSTIVE))
+    start = time.perf_counter()
+    es_field = es.estimate(current, previous)
+    print(f"exhaustive search: {(time.perf_counter() - start) * 1e3:.1f} ms, "
+          f"total SAD {es_field.sad.sum():.0f} <= TSS {field.sad.sum():.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -83,6 +83,11 @@ class MotionExtrapolator:
         #: Total fixed-point operations performed so far (compute accounting).
         self.total_operations = 0.0
 
+    def configure_frame(self, frame_width: Optional[int], frame_height: Optional[int]) -> None:
+        """Point a reused extrapolator at a new sequence's frame geometry."""
+        self.frame_width = frame_width
+        self.frame_height = frame_height
+
     # ------------------------------------------------------------------
     # Single-ROI extrapolation
     # ------------------------------------------------------------------
@@ -133,8 +138,7 @@ class MotionExtrapolator:
         self, roi: BoundingBox, motion_field: MotionField, state: RoiMotionState
     ) -> Tuple[MotionVector, float]:
         """Eqs. 1-3 for a single (sub-)ROI."""
-        average = motion_field.roi_average_motion(roi)  # Eq. 1
-        confidence = motion_field.roi_confidence(roi)  # Eq. 2 averaged over the ROI
+        average, confidence = motion_field.roi_statistics(roi)  # Eqs. 1 and 2
         if not self.config.use_confidence_filter:
             return average, confidence
         if confidence > self.config.confidence_threshold:
@@ -147,6 +151,18 @@ class MotionExtrapolator:
     # ------------------------------------------------------------------
     # Multi-ROI extrapolation (detection scenario)
     # ------------------------------------------------------------------
+    @staticmethod
+    def state_key(detection: Detection, index: int) -> int:
+        """Filter-state key for a detection.
+
+        Identified detections key by object id; anonymous ones key by their
+        (negative) position in the detection list, which is stable between
+        two I-frames because extrapolation preserves list order.
+        """
+        if detection.object_id is not None:
+            return detection.object_id
+        return -(index + 1)
+
     def extrapolate_detections(
         self,
         detections: Sequence[Detection],
@@ -155,14 +171,19 @@ class MotionExtrapolator:
     ) -> List[Detection]:
         """Extrapolate every detection of the previous frame.
 
-        ``states`` maps a detection's index-or-object-id to its filter state
+        ``states`` maps a detection's :meth:`state_key` to its filter state
         and is updated in place, so passing the same dictionary every frame
         keeps the recursion of Eq. 3 going until the next I-frame replaces
-        the detections.
+        the detections.  Keys with no matching detection in this call are
+        dropped — a leftover state from a larger earlier detection set must
+        not seed the filter of a different object.
         """
+        keys = [self.state_key(detection, index) for index, detection in enumerate(detections)]
+        live = set(keys)
+        for stale in [key for key in states if key not in live]:
+            del states[stale]
         extrapolated: List[Detection] = []
-        for index, detection in enumerate(detections):
-            key = detection.object_id if detection.object_id is not None else -(index + 1)
+        for key, detection in zip(keys, detections):
             state = states.setdefault(key, RoiMotionState())
             result = self.extrapolate_roi(detection.box, motion_field, state)
             extrapolated.append(detection.as_extrapolated(result.box))

@@ -59,23 +59,56 @@ class EuphratesPipeline:
         self.config = config or EuphratesConfig()
         #: Total extrapolation operations across all processed frames.
         self.total_extrapolation_ops = 0.0
+        # Reusable per-pipeline engine instances: constructing the ISP and
+        # the extrapolator per sequence is pure overhead once a dataset has
+        # hundreds of sequences, so both are built lazily and reset/retargeted
+        # at each sequence start.
+        self._isp: Optional[ISPPipeline] = None
+        self._extrapolator: Optional[MotionExtrapolator] = None
+
+    def __getstate__(self):
+        # The cached ISP/extrapolator are lazily rebuilt and carry large
+        # frame buffers; shipping them to worker processes would bloat every
+        # pickled run_dataset job for state the worker resets anyway.
+        state = self.__dict__.copy()
+        state["_isp"] = None
+        state["_extrapolator"] = None
+        return state
+
+    # ------------------------------------------------------------------
+    # Engine reuse
+    # ------------------------------------------------------------------
+    def _acquire_isp(self) -> ISPPipeline:
+        if self._isp is None:
+            self._isp = ISPPipeline(
+                ISPConfig(
+                    expose_motion_vectors=self.config.expose_motion_vectors,
+                    block_matching=self.config.block_matching,
+                )
+            )
+        else:
+            self._isp.reset()
+        return self._isp
+
+    def _acquire_extrapolator(self, sequence: "VideoSequence") -> MotionExtrapolator:
+        if self._extrapolator is None:
+            self._extrapolator = MotionExtrapolator(
+                self.config.extrapolation,
+                frame_width=sequence.width,
+                frame_height=sequence.height,
+            )
+        else:
+            self._extrapolator.configure_frame(sequence.width, sequence.height)
+        return self._extrapolator
 
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
     def run(self, sequence: "VideoSequence") -> SequenceResult:
         """Process one video sequence and return per-frame results."""
-        isp = ISPPipeline(
-            ISPConfig(
-                expose_motion_vectors=self.config.expose_motion_vectors,
-                block_matching=self.config.block_matching,
-            )
-        )
-        extrapolator = MotionExtrapolator(
-            self.config.extrapolation,
-            frame_width=sequence.width,
-            frame_height=sequence.height,
-        )
+        isp = self._acquire_isp()
+        extrapolator = self._acquire_extrapolator(sequence)
+        ops_before = extrapolator.total_operations
         self.backend.start_sequence(sequence)
 
         states: Dict[int, RoiMotionState] = {}
@@ -104,6 +137,7 @@ class EuphratesPipeline:
                 if predicted is not None:
                     disagreement = self._disagreement(detections, predicted)
                     self.window_controller.observe_disagreement(disagreement)
+                self._prune_states(states, detections)
                 kind = FrameKind.INFERENCE
                 frames_since_inference = 0
             else:
@@ -123,47 +157,120 @@ class EuphratesPipeline:
                 )
             )
 
-        self.total_extrapolation_ops += extrapolator.total_operations
+        self.total_extrapolation_ops += extrapolator.total_operations - ops_before
         return SequenceResult(sequence_name=sequence.name, frames=frames)
 
+    @staticmethod
+    def _prune_states(states: Dict[int, RoiMotionState], detections: Sequence[Detection]) -> None:
+        """Drop filter states made stale by a fresh inference result.
+
+        An I-frame replaces the tracked detection set.  Anonymous states
+        (negative keys are positional) never survive the replacement, and
+        identified states survive only while their object id is still
+        detected; anything else would seed the recursive filter of a new
+        object with another object's motion history.
+        """
+        live_ids = {d.object_id for d in detections if d.object_id is not None}
+        for key in [k for k in states if k < 0 or k not in live_ids]:
+            del states[key]
+
     def run_dataset(
-        self, dataset: "Dataset | Iterable[VideoSequence]"
+        self,
+        dataset: "Dataset | Iterable[VideoSequence]",
+        max_workers: Optional[int] = None,
     ) -> List[SequenceResult]:
-        """Process every sequence of a dataset."""
+        """Process every sequence of a dataset.
+
+        With ``max_workers`` > 1 the sequences are distributed over a pool
+        of worker processes, each running a pickled copy of this pipeline.
+        Results come back in dataset order and extrapolation-op totals are
+        aggregated.  Adaptive-window feedback stays local to each worker:
+        every sequence adapts within itself but starts from this pipeline's
+        current controller state, whereas the serial path chains controller
+        state from one sequence into the next — so adaptive-mode results can
+        differ between serial and parallel runs (constant-window results are
+        identical).
+        """
         sequences = dataset.sequences if hasattr(dataset, "sequences") else list(dataset)
-        return [self.run(sequence) for sequence in sequences]
+        if max_workers is None or max_workers <= 1 or len(sequences) <= 1:
+            return [self.run(sequence) for sequence in sequences]
+
+        from concurrent.futures import ProcessPoolExecutor
+
+        workers = min(max_workers, len(sequences))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(
+                pool.map(_run_sequence_job, [(self, sequence) for sequence in sequences])
+            )
+        results = []
+        for result, extrapolation_ops in outcomes:
+            self.total_extrapolation_ops += extrapolation_ops
+            results.append(result)
+        return results
 
     # ------------------------------------------------------------------
     # Adaptive-mode feedback
     # ------------------------------------------------------------------
-    @staticmethod
+    #: Minimum IoU for pairing an inferred box with a predicted one in the
+    #: disagreement metric; non-overlapping boxes are no evidence of a pair.
+    DISAGREEMENT_IOU_FLOOR = 1e-9
+
+    @classmethod
     def _disagreement(
-        inferred: Sequence[Detection], predicted: Sequence[Detection]
+        cls, inferred: Sequence[Detection], predicted: Sequence[Detection]
     ) -> float:
         """Mean ``1 - IoU`` between inference results and extrapolated ones.
 
-        Pairs are matched by object id when available, otherwise greedily by
-        IoU.  When there is nothing to compare the disagreement is 0 (no
+        Pairs are matched by object id when available; the remaining boxes
+        are matched one-to-one, best IoU first, and only while they overlap
+        at all.  When there is nothing to compare the disagreement is 0 (no
         evidence that extrapolation was wrong).
         """
         if not inferred or not predicted:
             return 0.0
 
         by_id = {d.object_id: d for d in predicted if d.object_id is not None}
-        unmatched = [d for d in predicted if d.object_id is None]
         disagreements: List[float] = []
+        anonymous_inferred: List[Detection] = []
         for detection in inferred:
-            counterpart = None
             if detection.object_id is not None and detection.object_id in by_id:
                 counterpart = by_id[detection.object_id]
-            elif unmatched:
-                counterpart = max(unmatched, key=lambda p: p.box.iou(detection.box))
-            if counterpart is None:
+                disagreements.append(1.0 - detection.box.iou(counterpart.box))
+            else:
+                anonymous_inferred.append(detection)
+
+        pool = [d for d in predicted if d.object_id is None]
+        pairs = sorted(
+            (
+                (detection.box.iou(candidate.box), i, j)
+                for i, detection in enumerate(anonymous_inferred)
+                for j, candidate in enumerate(pool)
+            ),
+            key=lambda item: item[0],
+            reverse=True,
+        )
+        used_inferred: set = set()
+        used_predicted: set = set()
+        for iou, i, j in pairs:
+            if iou < cls.DISAGREEMENT_IOU_FLOOR:
+                break
+            if i in used_inferred or j in used_predicted:
                 continue
-            disagreements.append(1.0 - detection.box.iou(counterpart.box))
+            used_inferred.add(i)
+            used_predicted.add(j)
+            disagreements.append(1.0 - iou)
+
         if not disagreements:
             return 0.0
         return float(np.mean(disagreements))
+
+
+def _run_sequence_job(payload):
+    """Top-level worker for process-parallel :meth:`EuphratesPipeline.run_dataset`."""
+    pipeline, sequence = payload
+    pipeline.total_extrapolation_ops = 0.0
+    result = pipeline.run(sequence)
+    return result, pipeline.total_extrapolation_ops
 
 
 # ----------------------------------------------------------------------

@@ -8,6 +8,7 @@ settings used for the committed results.
 """
 
 from .reporting import format_table
+from .perf import benchmark_motion_estimation, synthetic_luma_sequence
 from .experiments import (
     EnergyExperimentResult,
     PrecisionCurveResult,
@@ -27,6 +28,8 @@ from .experiments import (
 
 __all__ = [
     "format_table",
+    "benchmark_motion_estimation",
+    "synthetic_luma_sequence",
     "EnergyExperimentResult",
     "PrecisionCurveResult",
     "figure1_accuracy_vs_tops",

@@ -1,0 +1,112 @@
+"""Motion-estimation performance microbenchmarks.
+
+Measures frames/sec of the vectorized block matcher on synthetic 720p/1080p
+sequences and compares it against the scalar reference oracle
+(:mod:`repro.motion.reference`), so every PR can check the perf trajectory.
+The results are dumped to ``BENCH_motion.json`` by
+``benchmarks/run_motion_bench.py`` and asserted by
+``benchmarks/test_perf_motion.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..motion.block_matching import BlockMatcher, BlockMatchingConfig, SearchStrategy
+from ..motion.reference import scalar_estimate
+
+#: Benchmark resolutions: label -> (height, width).
+RESOLUTIONS: Dict[str, Tuple[int, int]] = {
+    "720p": (720, 1280),
+    "1080p": (1080, 1920),
+}
+
+
+def synthetic_luma_sequence(
+    height: int, width: int, num_frames: int, seed: int = 0
+) -> np.ndarray:
+    """A textured uint8 luma sequence with global translational motion.
+
+    The content is smooth-but-textured (block matching can lock on) and each
+    frame shifts by a couple of pixels, which mirrors the camera/object
+    motion the paper's workloads exhibit.
+    """
+    rng = np.random.default_rng(seed)
+    coarse = rng.uniform(0, 255, (height // 8 + 4, width // 8 + 4))
+    canvas = np.kron(coarse, np.ones((8, 8)))
+    frames = np.empty((num_frames, height, width), dtype=np.uint8)
+    for index in range(num_frames):
+        dy = (index * 2) % 16
+        dx = (index * 3) % 16
+        frames[index] = canvas[dy : dy + height, dx : dx + width].astype(np.uint8)
+    return frames
+
+
+def _time_per_frame(estimate, frames: np.ndarray) -> float:
+    start = time.perf_counter()
+    for index in range(1, frames.shape[0]):
+        estimate(frames[index], frames[index - 1])
+    elapsed = time.perf_counter() - start
+    return elapsed / (frames.shape[0] - 1)
+
+
+def benchmark_motion_estimation(
+    resolutions: Optional[Dict[str, Tuple[int, int]]] = None,
+    num_frames: int = 4,
+    block_size: int = 16,
+    search_range: int = 7,
+    include_scalar: bool = True,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Benchmark vectorized TSS (and the scalar oracle) per resolution.
+
+    Returns a JSON-ready dict with per-resolution frames/sec, per-frame
+    latency, the analytical ops/frame counts, and the vectorized-vs-scalar
+    speedup.  ``include_scalar=False`` skips the slow oracle timing (useful
+    for quick smoke runs).
+    """
+    if num_frames < 2:
+        raise ValueError("num_frames must be >= 2 (timing needs at least one frame pair)")
+    resolutions = resolutions or RESOLUTIONS
+    config = BlockMatchingConfig(
+        block_size=block_size, search_range=search_range, strategy=SearchStrategy.THREE_STEP
+    )
+    matcher = BlockMatcher(config)
+    results: List[Dict[str, object]] = []
+
+    for label, (height, width) in resolutions.items():
+        frames = synthetic_luma_sequence(height, width, num_frames, seed=seed)
+        matcher.estimate(frames[1], frames[0])  # warm-up
+
+        vector_s = _time_per_frame(matcher.estimate, frames)
+        entry: Dict[str, object] = {
+            "resolution": label,
+            "height": height,
+            "width": width,
+            "frames_timed": num_frames - 1,
+            "vectorized_s_per_frame": vector_s,
+            "vectorized_fps": 1.0 / vector_s,
+            "ops_per_frame": config.ops_per_frame(width, height),
+            "ops_per_macroblock": config.ops_per_macroblock,
+        }
+        if include_scalar:
+            scalar_s = _time_per_frame(
+                lambda cur, prev: scalar_estimate(
+                    cur, prev, block_size=block_size, search_range=search_range
+                ),
+                frames,
+            )
+            entry["scalar_s_per_frame"] = scalar_s
+            entry["scalar_fps"] = 1.0 / scalar_s
+            entry["speedup"] = scalar_s / vector_s
+        results.append(entry)
+
+    return {
+        "benchmark": "motion_estimation_tss",
+        "block_size": block_size,
+        "search_range": search_range,
+        "results": results,
+    }

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from ..motion.block_matching import BlockMatcher, BlockMatchingConfig
 from ..motion.motion_field import MotionField
@@ -37,6 +38,10 @@ class TemporalDenoiseConfig:
     #: Whether the stage's local SRAM is double buffered so MV write-back can
     #: overlap with the rest of the pipeline (Sec. 4.2).
     double_buffered_sram: bool = True
+    #: Run block matching on 8-bit quantized luma, like the real ISP whose
+    #: frame buffer stores 8-bit pixels.  Keeps the matcher on its
+    #: exact-integer fast path; the denoising blend itself stays in float.
+    quantize_matching: bool = True
 
 
 class TemporalDenoiseStage:
@@ -48,6 +53,7 @@ class TemporalDenoiseStage:
         self.config = config or TemporalDenoiseConfig()
         self._matcher = BlockMatcher(self.config.block_matching)
         self._previous_denoised: Optional[np.ndarray] = None
+        self._previous_reference: Optional[np.ndarray] = None
         #: Motion field computed for the most recent frame.
         self.last_motion_field: Optional[MotionField] = None
         #: Arithmetic operations spent on motion estimation for the last frame.
@@ -60,8 +66,15 @@ class TemporalDenoiseStage:
     def reset(self) -> None:
         """Forget the previous frame (e.g. at a scene cut or stream start)."""
         self._previous_denoised = None
+        self._previous_reference = None
         self.last_motion_field = None
         self.last_motion_ops = 0
+
+    def _matching_reference(self, frame: np.ndarray) -> np.ndarray:
+        """The representation of ``frame`` handed to the block matcher."""
+        if not self.config.quantize_matching:
+            return frame
+        return np.clip(np.rint(frame), 0.0, 255.0).astype(np.uint8)
 
     def process(self, luma: np.ndarray, **context) -> Tuple[np.ndarray, Optional[MotionField]]:
         """Denoise ``luma`` and return ``(denoised, motion_field)``.
@@ -72,16 +85,22 @@ class TemporalDenoiseStage:
         current = np.asarray(luma, dtype=np.float64)
         if self._previous_denoised is None or self._previous_denoised.shape != current.shape:
             self._previous_denoised = current.copy()
+            # Reference the private copy, never the caller's buffer (which
+            # the caller may overwrite in place between frames).
+            self._previous_reference = self._matching_reference(self._previous_denoised)
             self.last_motion_field = None
             self.last_motion_ops = 0
             return current, None
 
-        field = self._matcher.estimate(current, self._previous_denoised)
+        field = self._matcher.estimate(
+            self._matching_reference(current), self._previous_reference
+        )
         self.last_motion_field = field
         self.last_motion_ops = self._matcher.last_operation_count
 
         denoised = self._motion_compensated_blend(current, self._previous_denoised, field)
         self._previous_denoised = denoised
+        self._previous_reference = self._matching_reference(denoised)
         return denoised, field
 
     # ------------------------------------------------------------------
@@ -90,15 +109,55 @@ class TemporalDenoiseStage:
     def _motion_compensated_blend(
         self, current: np.ndarray, previous: np.ndarray, field: MotionField
     ) -> np.ndarray:
-        """Blend each macroblock with its motion-compensated predecessor."""
+        """Blend each macroblock with its motion-compensated predecessor.
+
+        Full macroblocks are blended in one vectorized gather over the
+        motion-compensated source patches; only the partial blocks of a
+        ragged frame edge (frame size not a multiple of the block size)
+        fall back to the per-block path.
+        """
         block = field.grid.block_size
         height, width = current.shape
         blended = current.copy()
         strength = self.config.blend_strength
         max_sad = field.max_sad * self.config.max_normalised_sad
 
+        rows_full = height // block
+        cols_full = width // block
+        if rows_full and cols_full:
+            vectors = field.vectors[:rows_full, :cols_full]
+            # The block content came from (x - u, y - v) in the previous
+            # frame (forward-motion convention).
+            src_y = (
+                np.arange(rows_full)[:, None] * block - np.rint(vectors[..., 1])
+            ).astype(np.int64)
+            src_x = (
+                np.arange(cols_full)[None, :] * block - np.rint(vectors[..., 0])
+            ).astype(np.int64)
+            valid = (
+                (field.sad[:rows_full, :cols_full] <= max_sad)
+                & (src_y >= 0)
+                & (src_x >= 0)
+                & (src_y + block <= height)
+                & (src_x + block <= width)
+            )
+            rows_idx, cols_idx = np.nonzero(valid)
+            if rows_idx.size:
+                windows = sliding_window_view(previous, (block, block))
+                references = windows[src_y[rows_idx, cols_idx], src_x[rows_idx, cols_idx]]
+                blocks_of = lambda frame: frame[
+                    : rows_full * block, : cols_full * block
+                ].reshape(rows_full, block, cols_full, block).transpose(0, 2, 1, 3)
+                blocks_of(blended)[rows_idx, cols_idx] = (
+                    (1.0 - strength) * blocks_of(current)[rows_idx, cols_idx]
+                    + strength * references
+                )
+
+        # Ragged frame edge: partial blocks keep the scalar path.
         for row in range(field.grid.rows):
             for col in range(field.grid.cols):
+                if row < rows_full and col < cols_full:
+                    continue
                 if field.sad[row, col] > max_sad:
                     continue
                 y0 = row * block
@@ -106,8 +165,6 @@ class TemporalDenoiseStage:
                 y1 = min(y0 + block, height)
                 x1 = min(x0 + block, width)
                 u, v = field.vectors[row, col]
-                # The block content came from (x - u, y - v) in the previous
-                # frame (forward-motion convention).
                 src_y0 = int(round(y0 - v))
                 src_x0 = int(round(x0 - u))
                 src_y1 = src_y0 + (y1 - y0)

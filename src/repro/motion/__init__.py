@@ -15,15 +15,19 @@ from .block_matching import (
     exhaustive_search_ops_per_macroblock,
     three_step_search_ops_per_macroblock,
 )
+from .kernels import SadKernel
 from .motion_field import MacroblockGrid, MotionField
+from .reference import scalar_estimate
 from .sad import sum_of_absolute_differences
 
 __all__ = [
     "BlockMatcher",
     "BlockMatchingConfig",
+    "SadKernel",
     "SearchStrategy",
     "MacroblockGrid",
     "MotionField",
+    "scalar_estimate",
     "sum_of_absolute_differences",
     "exhaustive_search_ops_per_macroblock",
     "three_step_search_ops_per_macroblock",

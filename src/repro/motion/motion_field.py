@@ -204,19 +204,51 @@ class MotionField:
         alpha = self.confidence()[rows, cols]
         return float((alpha * weights).sum() / total)
 
+    def roi_statistics(self, roi: BoundingBox) -> Tuple[MotionVector, float]:
+        """Average motion (Eq. 1) and confidence (Eq. 2) in one weight pass.
+
+        The extrapolator needs both quantities for every sub-ROI; computing
+        them together halves the overlap-weight work on the hot path.
+        """
+        weights, rows, cols = self._roi_weights(roi)
+        total = weights.sum()
+        if total <= 0.0:
+            return MotionVector(0.0, 0.0), 0.0
+        block_vectors = self.vectors[rows, cols]
+        u = float((block_vectors[..., 0] * weights).sum() / total)
+        v = float((block_vectors[..., 1] * weights).sum() / total)
+        alpha = self.confidence()[rows, cols]
+        confidence = float((alpha * weights).sum() / total)
+        return MotionVector(u, v), confidence
+
     def _roi_weights(self, roi: BoundingBox) -> Tuple[np.ndarray, slice, slice]:
-        """Overlap areas between ``roi`` and each macroblock it touches."""
+        """Overlap areas between ``roi`` and each macroblock it touches.
+
+        The per-block intersection areas have the closed form
+        ``max(0, min(rights) - max(lefts)) * max(0, min(bottoms) - max(tops))``
+        which is evaluated for all touched blocks with two 1-D clip
+        expressions and an outer product — no Python loop over blocks.
+        """
         rows, cols = self.grid.blocks_overlapping(roi)
-        row_indices = range(rows.start, rows.stop)
-        col_indices = range(cols.start, cols.stop)
         clipped = roi.clip(self.grid.frame_width, self.grid.frame_height)
         if clipped.is_empty():
             clipped = roi
-        weights = np.zeros((len(row_indices), len(col_indices)), dtype=np.float64)
-        for i, r in enumerate(row_indices):
-            for j, c in enumerate(col_indices):
-                block = self.grid.block_box(r, c)
-                weights[i, j] = block.intersection(clipped).area
+        block = float(self.grid.block_size)
+        row_starts = np.arange(rows.start, rows.stop, dtype=np.float64) * block
+        col_starts = np.arange(cols.start, cols.stop, dtype=np.float64) * block
+        row_ends = np.minimum(row_starts + block, float(self.grid.frame_height))
+        col_ends = np.minimum(col_starts + block, float(self.grid.frame_width))
+        overlap_h = np.clip(
+            np.minimum(row_ends, clipped.bottom) - np.maximum(row_starts, clipped.top),
+            0.0,
+            None,
+        )
+        overlap_w = np.clip(
+            np.minimum(col_ends, clipped.right) - np.maximum(col_starts, clipped.left),
+            0.0,
+            None,
+        )
+        weights = overlap_w[None, :] * overlap_h[:, None]
         if weights.sum() <= 0.0:
             weights[:] = 1.0
         return weights, rows, cols

@@ -35,18 +35,27 @@ def normalized_sad(block_a: np.ndarray, block_b: np.ndarray) -> float:
 def sad_map(current: np.ndarray, reference: np.ndarray, block_size: int) -> np.ndarray:
     """Per-macroblock SAD between two aligned frames.
 
-    Both frames must have dimensions that are multiples of ``block_size``.
-    Returns an array of shape ``(rows, cols)`` where each entry is the SAD of
-    the corresponding macroblock pair at zero displacement.
+    Frames whose dimensions are not multiples of ``block_size`` are
+    edge-padded, matching the padding semantics of
+    :class:`~repro.motion.block_matching.BlockMatcher` (partial blocks at the
+    frame edge count as full blocks).  Returns an array of shape
+    ``(rows, cols)`` where each entry is the SAD of the corresponding
+    macroblock pair at zero displacement.
     """
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
     if current.shape != reference.shape:
         raise ValueError("frames must have identical shapes")
+    current = current.astype(np.float64)
+    reference = reference.astype(np.float64)
     height, width = current.shape
-    if height % block_size or width % block_size:
-        raise ValueError(
-            f"frame shape {current.shape} is not a multiple of block size {block_size}"
-        )
-    diff = np.abs(current.astype(np.float64) - reference.astype(np.float64))
-    rows = height // block_size
-    cols = width // block_size
+    rows = -(-height // block_size)
+    cols = -(-width // block_size)
+    pad_h = rows * block_size - height
+    pad_w = cols * block_size - width
+    if pad_h or pad_w:
+        pad = ((0, pad_h), (0, pad_w))
+        current = np.pad(current, pad, mode="edge")
+        reference = np.pad(reference, pad, mode="edge")
+    diff = np.abs(current - reference)
     return diff.reshape(rows, block_size, cols, block_size).sum(axis=(1, 3))

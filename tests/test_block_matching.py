@@ -31,7 +31,16 @@ class TestConfig:
         with pytest.raises(ValueError):
             BlockMatchingConfig(block_size=0)
         with pytest.raises(ValueError):
-            BlockMatchingConfig(search_range=0)
+            BlockMatchingConfig(search_range=-1)
+
+    def test_zero_search_range_is_valid(self):
+        """d = 0 is the degenerate zero-motion case, not an error."""
+        config = BlockMatchingConfig(search_range=0)
+        assert config.ops_per_macroblock > 0
+        rng = np.random.default_rng(21)
+        frame = rng.integers(0, 256, (32, 32)).astype(np.uint8)
+        field = BlockMatcher(config).estimate(frame, frame)
+        assert field.max_magnitude() == 0.0
 
     def test_es_ops_formula(self):
         # L^2 * (2d+1)^2 from Sec. 2.3.
@@ -90,6 +99,66 @@ class TestMotionRecovery:
         matcher = BlockMatcher(BlockMatchingConfig(search_range=7))
         field = matcher.estimate(current, previous)
         assert abs(field.mean_motion().u) <= 7.0
+
+
+def _bump_canvas(height: int, width: int, seed: int, bumps: int = 40) -> np.ndarray:
+    """Smooth, self-dissimilar uint8 content block matching can lock on to."""
+    rng = np.random.default_rng(seed)
+    yy, xx = np.mgrid[0:height, 0:width]
+    img = np.zeros((height, width))
+    for _ in range(bumps):
+        cy, cx = rng.uniform(0, height), rng.uniform(0, width)
+        sigma = rng.uniform(10, 25)
+        img += rng.uniform(50, 255) * np.exp(
+            -(((yy - cy) ** 2 + (xx - cx) ** 2) / (2 * sigma * sigma))
+        )
+    img = (img - img.min()) / (img.max() - img.min()) * 255
+    return np.rint(img).astype(np.uint8)
+
+
+class TestExactShiftRecovery:
+    """Known-shift frames where the searches must be *exactly* right.
+
+    The frames are crops of one larger canvas (no wrap-around), so every
+    interior macroblock has a perfect (SAD = 0) match at the true
+    displacement.  ES must find it for any in-range shift; TSS, being a
+    greedy logarithmic descent, is guaranteed exact when the displacement
+    lies on its first-step lattice (the SAD = 0 match is evaluated directly
+    and strict improvement can never leave it).
+    """
+
+    HEIGHT, WIDTH, MARGIN = 96, 128, 16
+
+    def _frame_pair(self, dx: int, dy: int):
+        m = self.MARGIN
+        canvas = _bump_canvas(self.HEIGHT + 2 * m, self.WIDTH + 2 * m, seed=5)
+        previous = canvas[m : m + self.HEIGHT, m : m + self.WIDTH]
+        # current[y, x] = previous[y - dy, x - dx]: forward motion (dx, dy).
+        current = canvas[m - dy : m - dy + self.HEIGHT, m - dx : m - dx + self.WIDTH]
+        return current, previous
+
+    def _assert_exact(self, strategy, dx: int, dy: int):
+        current, previous = self._frame_pair(dx, dy)
+        matcher = BlockMatcher(
+            BlockMatchingConfig(block_size=16, search_range=7, strategy=strategy)
+        )
+        field = matcher.estimate(current, previous)
+        interior = field.vectors[1:-1, 1:-1]
+        assert np.all(interior[..., 0] == dx), f"u != {dx} for {strategy}"
+        assert np.all(interior[..., 1] == dy), f"v != {dy} for {strategy}"
+        assert np.all(field.sad[1:-1, 1:-1] == 0.0)
+
+    @pytest.mark.parametrize("shift", [(0, 0), (3, 2), (-5, 1), (7, -7), (2, -3), (-6, -4)])
+    def test_es_recovers_any_in_range_shift_exactly(self, shift):
+        self._assert_exact(SearchStrategy.EXHAUSTIVE, *shift)
+
+    @pytest.mark.parametrize(
+        "shift", [(0, 0), (4, 0), (0, -4), (-4, 0), (4, 4), (-4, -4), (-4, 4), (4, -4)]
+    )
+    def test_tss_recovers_step_lattice_shifts_exactly(self, shift):
+        self._assert_exact(SearchStrategy.THREE_STEP, *shift)
+        # ES must agree on these shifts too.
+        self._assert_exact(SearchStrategy.EXHAUSTIVE, *shift)
 
 
 class TestEstimateInterface:

@@ -152,6 +152,57 @@ class TestMultiRoiExtrapolation:
         assert states[1].filtered_motion.u == pytest.approx(first_state.u, abs=0.5)
 
 
+class TestStateLifecycle:
+    def test_stale_anonymous_states_are_pruned_on_count_change(self):
+        """A shrinking anonymous detection list must not leak filter states."""
+        extrapolator = MotionExtrapolator(frame_width=128, frame_height=96)
+        two = [
+            Detection(box=BoundingBox(10, 10, 20, 20)),
+            Detection(box=BoundingBox(60, 40, 20, 20)),
+        ]
+        states = {}
+        extrapolator.extrapolate_detections(two, _field(MotionVector(2.0, 0.0)), states)
+        assert set(states) == {-1, -2}
+        one = [Detection(box=BoundingBox(90, 20, 20, 20))]
+        extrapolator.extrapolate_detections(one, _field(MotionVector(2.0, 0.0)), states)
+        assert set(states) == {-1}
+
+    def test_new_anonymous_detection_does_not_inherit_foreign_motion(self):
+        """The -(index+1) key of a fresh detection set must start clean."""
+        extrapolator = MotionExtrapolator(frame_width=128, frame_height=96)
+        states = {}
+        fast = [Detection(box=BoundingBox(10, 10, 20, 20))]
+        for _ in range(3):
+            extrapolator.extrapolate_detections(fast, _field(MotionVector(7.0, 0.0)), states)
+        # Detection count changes: the old state keyed -1 belonged to the
+        # fast object and must not seed the two new objects' filters.
+        replacement = [
+            Detection(box=BoundingBox(30, 30, 20, 20)),
+            Detection(box=BoundingBox(70, 50, 20, 20)),
+        ]
+        states.clear()  # what the pipeline does at the I-frame
+        noisy = _field(MotionVector(0.0, 0.0), sad=0.95 * 255 * 256)
+        moved = extrapolator.extrapolate_detections(replacement, noisy, states)
+        # Low confidence blends with the (fresh, zero) prior: the boxes must
+        # stay put instead of inheriting the fast object's 7 px/frame.
+        for before, after in zip(replacement, moved):
+            assert after.box.center.x == pytest.approx(before.box.center.x, abs=0.5)
+
+    def test_identified_states_survive_while_their_id_lives(self):
+        extrapolator = MotionExtrapolator(frame_width=128, frame_height=96)
+        states = {}
+        detections = [
+            Detection(box=BoundingBox(10, 10, 20, 20), object_id=7),
+            Detection(box=BoundingBox(60, 40, 20, 20), object_id=9),
+        ]
+        extrapolator.extrapolate_detections(detections, _field(MotionVector(1.0, 0.0)), states)
+        assert set(states) == {7, 9}
+        extrapolator.extrapolate_detections(
+            detections[:1], _field(MotionVector(1.0, 0.0)), states
+        )
+        assert set(states) == {7}
+
+
 class TestComputeAccounting:
     def test_typical_roi_costs_about_10k_ops(self):
         """Sec. 3.2: a 100x50 ROI needs roughly 10 K fixed-point operations."""

@@ -1,0 +1,141 @@
+"""Tests for the vectorized SAD kernels and the scalar-oracle equivalence.
+
+The vectorized engine must be *bit-identical* to the scalar reference in
+``repro.motion.reference`` — not approximately equal — because downstream
+confidence filtering (Eq. 2/3) is sensitive to SAD values and the paper's
+hardware produces exact integer SADs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.motion.block_matching import BlockMatcher, BlockMatchingConfig, SearchStrategy
+from repro.motion.kernels import SadKernel, frames_are_integer
+from repro.motion.reference import scalar_estimate
+
+
+class TestFramesAreInteger:
+    def test_uint8_frames(self):
+        assert frames_are_integer(np.zeros((4, 4), dtype=np.uint8))
+
+    def test_integer_valued_floats(self):
+        assert frames_are_integer(np.array([[1.0, 255.0], [0.0, 7.0]]))
+
+    def test_fractional_floats(self):
+        assert not frames_are_integer(np.array([[1.0, 2.5]]))
+
+    def test_mixed(self):
+        a = np.zeros((2, 2), dtype=np.uint8)
+        b = np.array([[0.25, 1.0], [2.0, 3.0]])
+        assert not frames_are_integer(a, b)
+
+    def test_huge_values_rejected(self):
+        assert not frames_are_integer(np.array([[2.0**40]]))
+
+    def test_non_finite_rejected(self):
+        assert not frames_are_integer(np.array([[np.nan, 1.0]]))
+
+
+class TestSadKernelModes:
+    def test_integer_mode_detected_for_uint8(self):
+        frame = np.zeros((16, 16), dtype=np.uint8)
+        kernel = SadKernel(frame, frame, block_size=8, search_range=2)
+        assert kernel.exact_integer
+
+    def test_float_mode_for_fractional_frames(self):
+        frame = np.full((16, 16), 0.5)
+        kernel = SadKernel(frame, frame, block_size=8, search_range=2)
+        assert not kernel.exact_integer
+
+    def test_uniform_and_per_block_agree_on_integers(self):
+        rng = np.random.default_rng(0)
+        current = rng.integers(0, 256, (32, 48)).astype(np.uint8)
+        previous = rng.integers(0, 256, (32, 48)).astype(np.uint8)
+        kernel = SadKernel(current, previous, block_size=16, search_range=3)
+        for dy, dx in [(0, 0), (1, -2), (-3, 3)]:
+            uniform = kernel.sad_uniform(dy, dx)
+            per_block = kernel.sad_per_block(
+                np.full((2, 3), dy, dtype=np.int64), np.full((2, 3), dx, dtype=np.int64)
+            )
+            assert np.array_equal(uniform, per_block)
+
+    def test_integer_and_float_modes_agree_on_integer_frames(self):
+        rng = np.random.default_rng(1)
+        current = rng.integers(0, 256, (32, 32)).astype(np.float64)
+        previous = rng.integers(0, 256, (32, 32)).astype(np.float64)
+        fast = SadKernel(current, previous, 16, 4, exact_integer=True)
+        slow = SadKernel(current, previous, 16, 4, exact_integer=False)
+        dy = rng.integers(-4, 5, (2, 2))
+        dx = rng.integers(-4, 5, (2, 2))
+        assert np.array_equal(fast.sad_per_block(dy, dx), slow.sad_per_block(dy, dx))
+
+    def test_rejects_unpadded_frames(self):
+        with pytest.raises(ValueError):
+            SadKernel(np.zeros((10, 16)), np.zeros((10, 16)), 16, 2)
+
+
+def _assert_matches_oracle(current, previous, block_size, search_range, strategy):
+    matcher = BlockMatcher(
+        BlockMatchingConfig(
+            block_size=block_size, search_range=search_range, strategy=strategy
+        )
+    )
+    field = matcher.estimate(current, previous)
+    oracle = scalar_estimate(
+        current,
+        previous,
+        block_size=block_size,
+        search_range=search_range,
+        three_step=strategy is SearchStrategy.THREE_STEP,
+    )
+    assert np.array_equal(field.vectors, oracle.vectors)
+    assert np.array_equal(field.sad, oracle.sad)
+
+
+class TestVectorizedEqualsOracle:
+    """Property tests: the vectorized searches equal the scalar reference."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31),
+        block_size=st.sampled_from([3, 4, 8, 16]),
+        search_range=st.sampled_from([0, 1, 2, 5, 7]),
+        height=st.integers(8, 48),
+        width=st.integers(8, 48),
+    )
+    def test_tss_on_random_float_frames(self, seed, block_size, search_range, height, width):
+        rng = np.random.default_rng(seed)
+        current = rng.uniform(0, 255, (height, width))
+        previous = rng.uniform(0, 255, (height, width))
+        _assert_matches_oracle(
+            current, previous, block_size, search_range, SearchStrategy.THREE_STEP
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31),
+        block_size=st.sampled_from([3, 4, 8, 16]),
+        search_range=st.sampled_from([0, 1, 2, 5, 7]),
+        height=st.integers(8, 48),
+        width=st.integers(8, 48),
+    )
+    def test_tss_and_es_on_random_integer_frames(
+        self, seed, block_size, search_range, height, width
+    ):
+        rng = np.random.default_rng(seed)
+        current = rng.integers(0, 256, (height, width)).astype(np.uint8)
+        previous = rng.integers(0, 256, (height, width)).astype(np.uint8)
+        for strategy in SearchStrategy:
+            _assert_matches_oracle(current, previous, block_size, search_range, strategy)
+
+    def test_low_texture_ties_match_oracle(self):
+        """Flat regions exercise the strict-improvement tie-breaking."""
+        rng = np.random.default_rng(7)
+        current = np.full((40, 40), 100.0)
+        current[10:20, 10:20] += rng.integers(0, 3, (10, 10))
+        previous = np.full((40, 40), 100.0)
+        _assert_matches_oracle(current, previous, 8, 7, SearchStrategy.THREE_STEP)
+        _assert_matches_oracle(current, previous, 8, 7, SearchStrategy.EXHAUSTIVE)

@@ -160,3 +160,80 @@ class TestDisagreementMetric:
 
     def test_empty_lists_have_zero_disagreement(self):
         assert EuphratesPipeline._disagreement([], []) == 0.0
+
+    def test_anonymous_matching_is_one_to_one(self):
+        """Two inferred boxes cannot both pair with the same prediction."""
+        from repro.core.geometry import BoundingBox
+        from repro.core.types import Detection
+
+        predicted = [Detection(box=BoundingBox(0, 0, 10, 10))]
+        inferred = [
+            Detection(box=BoundingBox(0, 0, 10, 10)),  # perfect match
+            Detection(box=BoundingBox(2, 2, 10, 10)),  # would also overlap
+        ]
+        # Only the best pair is counted; the second inferred box is unmatched
+        # evidence, not a duplicate report against the same prediction.
+        assert EuphratesPipeline._disagreement(inferred, predicted) == pytest.approx(0.0)
+
+    def test_non_overlapping_anonymous_boxes_are_not_paired(self):
+        """IoU = 0 is no evidence of a pair and must not poison the metric."""
+        from repro.core.geometry import BoundingBox
+        from repro.core.types import Detection
+
+        predicted = [Detection(box=BoundingBox(100, 100, 10, 10))]
+        inferred = [Detection(box=BoundingBox(0, 0, 10, 10))]
+        assert EuphratesPipeline._disagreement(inferred, predicted) == 0.0
+
+    def test_greedy_matching_prefers_best_iou(self):
+        from repro.core.geometry import BoundingBox
+        from repro.core.types import Detection
+
+        predicted = [
+            Detection(box=BoundingBox(0, 0, 10, 10)),
+            Detection(box=BoundingBox(8, 0, 10, 10)),
+        ]
+        inferred = [Detection(box=BoundingBox(0, 0, 10, 10))]
+        # Pairs with the identical box (IoU 1), not the offset one.
+        assert EuphratesPipeline._disagreement(inferred, predicted) == pytest.approx(0.0)
+
+
+class TestEngineReuse:
+    def test_repeated_runs_are_deterministic(self, small_sequence):
+        """Reused ISP/extrapolator state must reset between sequences."""
+        pipeline = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=2)
+        first = pipeline.run(small_sequence)
+        second = pipeline.run(small_sequence)
+        assert len(first) == len(second)
+        for a, b in zip(first.frames, second.frames):
+            assert a.kind is b.kind
+            for da, db in zip(a.detections, b.detections):
+                assert da.box.as_xywh() == pytest.approx(db.box.as_xywh())
+
+    def test_engines_are_reused_across_runs(self, small_sequence):
+        pipeline = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=2)
+        pipeline.run(small_sequence)
+        isp = pipeline._isp
+        extrapolator = pipeline._extrapolator
+        pipeline.run(small_sequence)
+        assert pipeline._isp is isp
+        assert pipeline._extrapolator is extrapolator
+
+
+class TestParallelRunDataset:
+    def test_parallel_matches_serial(self, tiny_tracking_dataset):
+        serial = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=4)
+        parallel = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=4)
+        serial_results = serial.run_dataset(tiny_tracking_dataset)
+        parallel_results = parallel.run_dataset(tiny_tracking_dataset, max_workers=2)
+        assert [r.sequence_name for r in serial_results] == [
+            r.sequence_name for r in parallel_results
+        ]
+        for s, p in zip(serial_results, parallel_results):
+            assert len(s) == len(p)
+            for fs, fp in zip(s.frames, p.frames):
+                assert fs.kind is fp.kind
+                for ds, dp in zip(fs.detections, fp.detections):
+                    assert ds.box.as_xywh() == pytest.approx(dp.box.as_xywh())
+        assert parallel.total_extrapolation_ops == pytest.approx(
+            serial.total_extrapolation_ops
+        )

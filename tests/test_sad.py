@@ -64,6 +64,16 @@ class TestSADMap:
         with pytest.raises(ValueError):
             sad_map(np.zeros((8, 8)), np.zeros((8, 4)), 4)
 
-    def test_rejects_non_multiple_block(self):
+    def test_non_multiple_frames_are_edge_padded(self):
+        """Partial edge blocks count as full blocks, like the BlockMatcher."""
+        current = np.zeros((10, 10))
+        reference = np.full((10, 10), 1.0)
+        result = sad_map(current, reference, 4)
+        assert result.shape == (3, 3)
+        # Edge padding replicates the last row/column, so every padded block
+        # still differs by 1.0 per pixel over a full 4x4 block.
+        assert np.all(result == 16.0)
+
+    def test_rejects_non_positive_block(self):
         with pytest.raises(ValueError):
-            sad_map(np.zeros((10, 10)), np.zeros((10, 10)), 4)
+            sad_map(np.zeros((8, 8)), np.zeros((8, 8)), 0)
