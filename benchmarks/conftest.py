@@ -11,11 +11,23 @@ from __future__ import annotations
 
 import pytest
 
+from repro.harness.runner import SweepRunner
 from repro.video.datasets import build_detection_dataset, build_tracking_dataset
 
 
 #: EW sweep used by the figure benchmarks (matches the paper's EW-2..EW-32).
 EW_SWEEP = (2, 4, 8, 16, 32)
+
+
+@pytest.fixture(scope="session")
+def sweep_runner():
+    """One SweepRunner for the whole benchmark session.
+
+    Figures that sweep the same (dataset, backend, window, block-matching)
+    point — 10a/10c/12 and 11a/11b — share a single pipeline execution
+    instead of recomputing it per test.
+    """
+    return SweepRunner()
 
 
 @pytest.fixture(scope="session")

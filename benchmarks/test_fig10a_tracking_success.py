@@ -13,7 +13,7 @@ from repro.harness import figure10a_tracking_success, format_table
 from conftest import EW_SWEEP, run_once
 
 
-def test_fig10a_tracking_success(benchmark, tracking_dataset):
+def test_fig10a_tracking_success(benchmark, tracking_dataset, sweep_runner):
     result = run_once(
         benchmark,
         figure10a_tracking_success,
@@ -21,6 +21,7 @@ def test_fig10a_tracking_success(benchmark, tracking_dataset):
         ew_values=EW_SWEEP,
         include_adaptive=True,
         seed=1,
+        runner=sweep_runner,
     )
     print()
     print(format_table(result.headers(), result.rows()))

@@ -15,13 +15,14 @@ from repro.harness.reporting import format_table
 from conftest import run_once
 
 
-def test_fig10c_per_sequence_success(benchmark, tracking_dataset):
+def test_fig10c_per_sequence_success(benchmark, tracking_dataset, sweep_runner):
     result = run_once(
         benchmark,
         figure10c_per_sequence_success,
         dataset=tracking_dataset,
         configurations=(2, 4, "adaptive"),
         seed=1,
+        runner=sweep_runner,
     )
     print()
     print(format_table(result.headers(), result.rows()))

@@ -16,7 +16,7 @@ from conftest import run_once
 BLOCK_SIZES = (4, 8, 16, 32, 64, 128)
 
 
-def test_fig11a_macroblock_sensitivity(benchmark, small_tracking_dataset):
+def test_fig11a_macroblock_sensitivity(benchmark, small_tracking_dataset, sweep_runner):
     result = run_once(
         benchmark,
         figure11a_macroblock_sensitivity,
@@ -24,6 +24,7 @@ def test_fig11a_macroblock_sensitivity(benchmark, small_tracking_dataset):
         block_sizes=BLOCK_SIZES,
         ew_values=(2, 8, 32),
         seed=1,
+        runner=sweep_runner,
     )
     print()
     print(format_table(result.headers(), result.rows()))

@@ -19,7 +19,7 @@ from repro.motion.block_matching import (
 from conftest import run_once
 
 
-def test_fig11b_es_vs_tss(benchmark, small_tracking_dataset):
+def test_fig11b_es_vs_tss(benchmark, small_tracking_dataset, sweep_runner):
     scatter = run_once(
         benchmark,
         figure11b_es_vs_tss,
@@ -27,6 +27,7 @@ def test_fig11b_es_vs_tss(benchmark, small_tracking_dataset):
         ew_values=(2, 8, 32),
         thresholds=(0.1, 0.3, 0.5, 0.7, 0.9),
         seed=1,
+        runner=sweep_runner,
     )
     rows = []
     for label, points in scatter.items():

@@ -16,13 +16,14 @@ from repro.video.attributes import VisualAttribute
 from conftest import run_once
 
 
-def test_fig12_attribute_sensitivity(benchmark, tracking_dataset):
+def test_fig12_attribute_sensitivity(benchmark, tracking_dataset, sweep_runner):
     breakdown = run_once(
         benchmark,
         figure12_attribute_sensitivity,
         dataset=tracking_dataset,
         extrapolation_window=2,
         seed=1,
+        runner=sweep_runner,
     )
     baseline = breakdown["MDNet"]
     euphrates = breakdown["EW-2"]

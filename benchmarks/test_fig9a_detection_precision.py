@@ -14,13 +14,14 @@ from repro.harness import figure9a_detection_precision, format_table
 from conftest import EW_SWEEP, run_once
 
 
-def test_fig9a_detection_precision(benchmark, detection_dataset):
+def test_fig9a_detection_precision(benchmark, detection_dataset, sweep_runner):
     result = run_once(
         benchmark,
         figure9a_detection_precision,
         dataset=detection_dataset,
         ew_values=EW_SWEEP,
         seed=1,
+        runner=sweep_runner,
     )
     print()
     print(format_table(result.headers(), result.rows()))

@@ -7,7 +7,7 @@ library.
 """
 
 from .geometry import BoundingBox, MotionVector, Point, ZERO_MOTION, mean_iou
-from .types import Detection, FrameKind, FrameResult, SequenceResult
+from .types import DatasetRunResult, Detection, FrameKind, FrameResult, SequenceResult
 from .extrapolation import (
     ExtrapolationConfig,
     ExtrapolationResult,
@@ -35,6 +35,7 @@ __all__ = [
     "Point",
     "ZERO_MOTION",
     "mean_iou",
+    "DatasetRunResult",
     "Detection",
     "FrameKind",
     "FrameResult",

@@ -29,7 +29,7 @@ if TYPE_CHECKING:  # imported lazily to avoid a circular package import
     from ..video.sequence import VideoSequence
 from .extrapolation import ExtrapolationConfig, MotionExtrapolator, RoiMotionState
 from .geometry import BoundingBox
-from .types import Detection, FrameKind, FrameResult, SequenceResult
+from .types import DatasetRunResult, Detection, FrameKind, FrameResult, SequenceResult
 from .window import ConstantWindowController, WindowController
 
 
@@ -207,6 +207,24 @@ class EuphratesPipeline:
             self.total_extrapolation_ops += extrapolation_ops
             results.append(result)
         return results
+
+    def run_dataset_result(
+        self,
+        dataset: "Dataset | Iterable[VideoSequence]",
+        max_workers: Optional[int] = None,
+    ) -> DatasetRunResult:
+        """Like :meth:`run_dataset`, but return a :class:`DatasetRunResult`.
+
+        The result object carries this run's extrapolation-op total alongside
+        the per-sequence results, which lets the experiment harness cache one
+        self-contained object per swept pipeline configuration.
+        """
+        ops_before = self.total_extrapolation_ops
+        sequences = self.run_dataset(dataset, max_workers=max_workers)
+        return DatasetRunResult(
+            sequences=sequences,
+            extrapolation_ops=self.total_extrapolation_ops - ops_before,
+        )
 
     # ------------------------------------------------------------------
     # Adaptive-mode feedback

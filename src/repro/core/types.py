@@ -101,6 +101,44 @@ class SequenceResult:
         return self.inference_count / len(self.frames)
 
 
+@dataclass
+class DatasetRunResult:
+    """Results of running one pipeline configuration over a whole dataset.
+
+    Bundles the per-sequence results with the run-level counters the
+    experiment harness needs (extrapolation ops, inference rate), so a single
+    object can be cached and shared between figures that sweep the same
+    pipeline configuration.
+    """
+
+    sequences: List[SequenceResult] = field(default_factory=list)
+    #: Extrapolation operations spent by this run (not any prior runs of the
+    #: same pipeline instance).
+    extrapolation_ops: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.sequences)
+
+    def __iter__(self):
+        return iter(self.sequences)
+
+    @property
+    def total_frames(self) -> int:
+        return sum(len(result) for result in self.sequences)
+
+    @property
+    def inference_count(self) -> int:
+        return sum(result.inference_count for result in self.sequences)
+
+    @property
+    def inference_rate(self) -> float:
+        """Fraction of all frames that triggered a CNN inference."""
+        total = self.total_frames
+        if total == 0:
+            return 0.0
+        return self.inference_count / total
+
+
 def merge_sequence_results(results: Sequence[SequenceResult]) -> List[FrameResult]:
     """Concatenate the per-frame results of several sequences."""
     frames: List[FrameResult] = []

@@ -5,9 +5,29 @@ the benchmarks can both assert on the numbers and print the same table/series
 the paper reports.  The experiment functions accept dataset-size parameters;
 the defaults are sized to finish quickly, and EXPERIMENTS.md records the
 settings used for the committed results.
+
+The experiments are also exposed through a registry (:mod:`.runner`) and a
+CLI — ``python -m repro.harness run-all --workers N --json-dir out/``
+regenerates every artifact; see EXPERIMENTS.md for the recorded results.
 """
 
-from .reporting import format_table
+from .reporting import (
+    artifact_from_dict,
+    artifact_to_dict,
+    format_markdown_table,
+    format_table,
+    write_artifact_json,
+)
+from .runner import (
+    DatasetSpec,
+    ExperimentArtifact,
+    ExperimentContext,
+    ExperimentSpec,
+    ResultTable,
+    SweepRunner,
+    get_experiment,
+    list_experiments,
+)
 from .perf import benchmark_motion_estimation, synthetic_luma_sequence
 from .experiments import (
     EnergyExperimentResult,
@@ -28,6 +48,18 @@ from .experiments import (
 
 __all__ = [
     "format_table",
+    "format_markdown_table",
+    "artifact_to_dict",
+    "artifact_from_dict",
+    "write_artifact_json",
+    "DatasetSpec",
+    "ExperimentArtifact",
+    "ExperimentContext",
+    "ExperimentSpec",
+    "ResultTable",
+    "SweepRunner",
+    "get_experiment",
+    "list_experiments",
     "benchmark_motion_estimation",
     "synthetic_luma_sequence",
     "EnergyExperimentResult",

@@ -1,0 +1,142 @@
+"""``python -m repro.harness`` — regenerate the paper's figures and tables.
+
+Examples::
+
+    # Everything, serial, ASCII tables:
+    PYTHONPATH=src python -m repro.harness run-all
+
+    # One figure as markdown (what EXPERIMENTS.md records), JSON on the side:
+    PYTHONPATH=src python -m repro.harness run fig10a --markdown --json-dir out/
+
+    # Process-parallel sweep on a multi-core box:
+    PYTHONPATH=src python -m repro.harness run-all --workers 8
+
+    # CI smoke profile (1 sequence per dataset):
+    PYTHONPATH=src python -m repro.harness run-all --smoke --workers 2
+
+All results are deterministic for a given (seed, dataset profile):
+``--workers 1`` takes exactly the sequential code path, and constant-window
+results are identical at any worker count (adaptive-window runs chain
+controller state across sequences only in the serial path; see
+``EuphratesPipeline.run_dataset``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .reporting import format_artifact, write_artifact_json
+from .runner import (
+    DatasetSpec,
+    ExperimentContext,
+    ExperimentSpec,
+    SweepRunner,
+    get_experiment,
+    list_experiments,
+)
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for sequence execution (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="backend seed for every sweep (default: 1)"
+    )
+    parser.add_argument(
+        "--json-dir",
+        metavar="DIR",
+        default=None,
+        help="also write one <experiment>.json per artifact into DIR",
+    )
+    parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit markdown tables instead of aligned ASCII",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="near-minimal 2-sequence datasets (CI smoke profile) instead of the full benchmark sizes",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the Euphrates paper's figures and tables.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list every registered experiment")
+
+    run_parser = subparsers.add_parser("run", help="run one or more experiments by name")
+    run_parser.add_argument("experiments", nargs="+", metavar="EXPERIMENT")
+    _add_run_options(run_parser)
+
+    run_all_parser = subparsers.add_parser("run-all", help="run every registered experiment")
+    _add_run_options(run_all_parser)
+
+    return parser
+
+
+def _make_context(args: argparse.Namespace) -> ExperimentContext:
+    workers = args.workers if args.workers and args.workers > 1 else None
+    datasets = DatasetSpec.smoke() if args.smoke else DatasetSpec()
+    return ExperimentContext(
+        runner=SweepRunner(max_workers=workers), datasets=datasets, seed=args.seed
+    )
+
+
+def _run(specs: Sequence[ExperimentSpec], args: argparse.Namespace) -> int:
+    context = _make_context(args)
+    for index, spec in enumerate(specs):
+        artifact = context.artifact(spec.name)
+        if index:
+            print()
+        if args.markdown:
+            print(f"### {artifact.title}\n")
+            print(format_artifact(artifact, markdown=True))
+        else:
+            print(f"== {artifact.name}: {artifact.title} ==\n")
+            print(format_artifact(artifact))
+        if args.json_dir:
+            path = write_artifact_json(artifact, args.json_dir)
+            print(f"[wrote {path}]", file=sys.stderr)
+    runner = context.runner
+    print(
+        f"[{len(specs)} experiment(s); sweep cache: {runner.cache_misses} pipeline run(s), "
+        f"{runner.cache_hits} reused; workers: {args.workers}]",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for spec in list_experiments():
+            print(f"{spec.name:8s} {spec.title}")
+        return 0
+    if args.command == "run":
+        # Resolve names before running anything so a KeyError from inside an
+        # experiment builder is never mistaken for a bad experiment name.
+        try:
+            specs = [get_experiment(name) for name in args.experiments]
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
+        return _run(specs, args)
+    if args.command == "run-all":
+        return _run(list_experiments(), args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

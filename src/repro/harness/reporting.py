@@ -1,27 +1,66 @@
-"""Plain-text table formatting for experiment results."""
+"""Table formatting and structured-result emitters for experiment results.
+
+Three output formats share one cell-formatting rule set:
+
+* :func:`format_table` — aligned ASCII tables for terminal / pytest output.
+* :func:`format_markdown_table` — GitHub-flavoured markdown (EXPERIMENTS.md).
+* :func:`artifact_to_dict` / :func:`artifact_from_dict` — lossless JSON
+  round-trip of an :class:`~repro.harness.runner.ExperimentArtifact`.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, List, Sequence
+
+if TYPE_CHECKING:
+    from .runner import ExperimentArtifact
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
     """Render a list of rows as an aligned ASCII table.
 
     Numbers are formatted with a sensible number of significant digits; all
-    other values fall back to ``str``.
+    other values fall back to ``str``.  Rows shorter than the header are
+    padded with empty cells; extra cells beyond the header are kept (the
+    header row is padded instead), so ragged input never raises.
     """
-    rendered_rows: List[List[str]] = [[_format_cell(cell) for cell in row] for row in rows]
-    all_rows = [list(map(str, headers))] + rendered_rows
-    widths = [max(len(row[i]) for row in all_rows) for i in range(len(headers))]
+    header_row, rendered_rows, num_columns = _normalize(headers, rows)
+    all_rows = [header_row] + rendered_rows
+    widths = [max(len(row[i]) for row in all_rows) for i in range(num_columns)]
 
     def render(row: Sequence[str]) -> str:
         return "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
 
     separator = "  ".join("-" * width for width in widths)
     lines = [render(all_rows[0]), separator]
-    lines.extend(render(row) for row in rendered_rows)
+    lines.extend(render(row) for row in all_rows[1:])
     return "\n".join(lines)
+
+
+def format_markdown_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+    header_row, rendered_rows, num_columns = _normalize(headers, rows)
+    lines = ["| " + " | ".join(header_row) + " |"]
+    lines.append("|" + "|".join(" --- " for _ in range(num_columns)) + "|")
+    for row in rendered_rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def _normalize(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> "tuple[List[str], List[List[str]], int]":
+    """Shared cell rendering + ragged-row padding for both table formats."""
+    rendered_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    header_row = list(map(str, headers))
+    num_columns = max([len(header_row)] + [len(row) for row in rendered_rows])
+
+    def pad(row: List[str]) -> List[str]:
+        return row + [""] * (num_columns - len(row))
+
+    return pad(header_row), [pad(row) for row in rendered_rows], num_columns
 
 
 def _format_cell(value: object) -> str:
@@ -34,3 +73,74 @@ def _format_cell(value: object) -> str:
             return f"{value:.3g}"
         return f"{value:.3f}".rstrip("0").rstrip(".")
     return str(value)
+
+
+# ----------------------------------------------------------------------
+# JSON emitters
+# ----------------------------------------------------------------------
+def artifact_to_dict(artifact: "ExperimentArtifact") -> dict:
+    """Convert an artifact to a JSON-serializable dict (dataclass → dict)."""
+    return {
+        "name": artifact.name,
+        "title": artifact.title,
+        "kind": artifact.kind,
+        "tables": [
+            {"title": table.title, "headers": list(table.headers), "rows": [list(r) for r in table.rows]}
+            for table in artifact.tables
+        ],
+        "metadata": dict(artifact.metadata),
+    }
+
+
+def artifact_from_dict(payload: dict) -> "ExperimentArtifact":
+    """Rebuild an artifact from :func:`artifact_to_dict` output."""
+    from .runner import ExperimentArtifact, ResultTable
+
+    return ExperimentArtifact(
+        name=payload["name"],
+        title=payload["title"],
+        kind=payload["kind"],
+        tables=[
+            ResultTable(
+                title=table["title"],
+                headers=list(table["headers"]),
+                rows=[list(row) for row in table["rows"]],
+            )
+            for table in payload.get("tables", [])
+        ],
+        metadata=dict(payload.get("metadata", {})),
+    )
+
+
+def write_artifact_json(artifact: "ExperimentArtifact", directory: str | Path) -> Path:
+    """Write ``<directory>/<name>.json`` and return the path.
+
+    The JSON is emitted with sorted keys and a trailing newline so repeated
+    runs of the same configuration produce byte-identical files.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{artifact.name}.json"
+    path.write_text(
+        json.dumps(artifact_to_dict(artifact), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def format_artifact(artifact: "ExperimentArtifact", markdown: bool = False) -> str:
+    """Render every table of an artifact as text (ASCII or markdown).
+
+    Per-table titles are only printed when they add information beyond the
+    artifact title (the caller is expected to print that as the heading).
+    """
+    emit = format_markdown_table if markdown else format_table
+    blocks = []
+    for table in artifact.tables:
+        rendered = emit(table.headers, table.rows)
+        if table.title and table.title != artifact.title:
+            rendered = f"{table.title}\n\n{rendered}"
+        blocks.append(rendered)
+    if not artifact.tables:
+        blocks.append("(no tabular data)")
+    return "\n\n".join(blocks)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.harness.reporting import format_table
+from repro.harness.reporting import format_markdown_table, format_table
 from repro.harness.experiments import (
     figure1_accuracy_vs_tops,
     figure9b_detection_energy,
@@ -31,6 +31,33 @@ class TestReporting:
 
     def test_zero_formatting(self):
         assert "0" in format_table(["x"], [[0.0]])
+
+    def test_empty_rows_renders_header_only(self):
+        table = format_table(["name", "value"], [])
+        lines = table.splitlines()
+        assert len(lines) == 2
+        assert "name" in lines[0] and lines[1].startswith("-")
+
+    def test_short_rows_are_padded(self):
+        table = format_table(["a", "b", "c"], [["x"], ["y", 1, 2]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[2].rstrip() == "x"
+
+    def test_rows_wider_than_header_extend_columns(self):
+        table = format_table(["a"], [["x", "extra"]])
+        assert "extra" in table
+
+    def test_no_headers_no_rows(self):
+        assert format_table([], []) == "\n"
+
+    def test_markdown_table(self):
+        table = format_markdown_table(["name", "value"], [["alpha", 1.25], [True, 0.0]])
+        lines = table.splitlines()
+        assert lines[0] == "| name | value |"
+        assert lines[1] == "| --- | --- |"
+        assert lines[2] == "| alpha | 1.25 |"
+        assert lines[3] == "| yes | 0 |"
 
 
 class TestStaticExperiments:
