@@ -1,14 +1,25 @@
 #!/usr/bin/env python
-"""Dump the motion-estimation perf trajectory to ``BENCH_motion.json``.
+"""Append a motion-estimation perf measurement to ``BENCH_motion.json``.
 
 Run from the repository root:
 
-    PYTHONPATH=src python benchmarks/run_motion_bench.py
+    PYTHONPATH=src python benchmarks/run_motion_bench.py              # full preset
+    PYTHONPATH=src python benchmarks/run_motion_bench.py --preset ci --guard
 
-Writes fps / per-frame latency / analytical op counts for the vectorized
-three-step search (and the scalar oracle it must beat) on synthetic
-720p/1080p sequences.  Commit the refreshed JSON so future PRs can see the
-perf trend.
+Each run measures fps / per-frame latency / analytical op counts for the
+vectorized three-step search (against the scalar oracle it must beat), the
+exhaustive search under every candidate-scan policy (full/spiral/pruned),
+and the fixed-point float-frame path, then **appends** a dated entry to the
+trajectory file — the perf history accumulates across commits instead of
+being overwritten.  A legacy single-payload ``BENCH_motion.json`` is
+migrated into the first trajectory entry automatically.
+
+``--guard`` enforces the perf floors stored in the file (the CI
+``perf-guard`` job runs this): the process exits non-zero when the fresh
+measurement's vectorized/scalar TSS speedup or pruned-vs-full ES speedup
+drops below its floor.
+
+Commit the refreshed JSON whenever the motion hot path changes.
 """
 
 from __future__ import annotations
@@ -16,48 +27,154 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import sys
+from datetime import datetime, timezone
 from pathlib import Path
 
-from repro.harness.perf import benchmark_motion_estimation
+from repro.harness.perf import RESOLUTIONS, benchmark_motion_estimation
+
+#: Floors seeded into a fresh trajectory file.  The committed
+#: ``BENCH_motion.json`` carries the authoritative values; edit them there
+#: (with justification) rather than here.
+DEFAULT_FLOORS = {
+    "min_tss_speedup_720p": 8.0,
+    "min_es_pruned_speedup_vs_full_720p": 2.0,
+}
+
+#: Presets: name -> (resolutions, frames, include_scalar).
+PRESETS = {
+    # The full trajectory measurement (both resolutions).
+    "full": (None, 4, True),
+    # Small CI preset: 720p only, fewest frames that still time a pair per
+    # measurement — enough for the guarded ratios, cheap enough for CI.
+    "ci": ({"720p": RESOLUTIONS["720p"]}, 3, True),
+}
 
 
-def main() -> None:
+def load_trajectory(path: Path) -> dict:
+    """Load (or initialise) the trajectory document, migrating legacy files."""
+    if not path.exists():
+        return {"schema": 2, "floors": dict(DEFAULT_FLOORS), "entries": []}
+    document = json.loads(path.read_text())
+    if "entries" in document:
+        document.setdefault("floors", dict(DEFAULT_FLOORS))
+        return document
+    # Legacy format: the whole file was one benchmark payload.
+    return {"schema": 2, "floors": dict(DEFAULT_FLOORS), "entries": [document]}
+
+
+def check_floors(entry: dict, floors: dict) -> list:
+    """Return human-readable violations of the stored perf floors."""
+    measured = {
+        result["resolution"]: result for result in entry.get("results", [])
+    }
+    violations = []
+    checks = [
+        ("min_tss_speedup_720p", "720p", "speedup"),
+        ("min_es_pruned_speedup_vs_full_720p", "720p", "es_pruned_speedup_vs_full"),
+    ]
+    for floor_key, resolution, metric in checks:
+        floor = floors.get(floor_key)
+        if floor is None:
+            continue
+        result = measured.get(resolution)
+        if result is None or metric not in result:
+            violations.append(
+                f"{floor_key}: metric '{metric}' at {resolution} was not measured "
+                f"(run without --skip-scalar / --skip-exhaustive)"
+            )
+            continue
+        value = result[metric]
+        if value < floor:
+            violations.append(
+                f"{floor_key}: measured {value:.2f}x < floor {floor:.2f}x"
+            )
+    return violations
+
+
+def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--output",
         type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_motion.json",
-        help="where to write the benchmark JSON (default: repo-root BENCH_motion.json)",
+        help="trajectory JSON to append to (default: repo-root BENCH_motion.json)",
     )
     parser.add_argument(
-        "--frames", type=int, default=4, help="frames per synthetic sequence"
+        "--preset",
+        choices=sorted(PRESETS),
+        default="full",
+        help="measurement preset: 'full' = 720p+1080p, 'ci' = small 720p-only "
+        "preset for the perf-guard job (default: full)",
+    )
+    parser.add_argument(
+        "--frames", type=int, default=None, help="override frames per synthetic sequence"
     )
     parser.add_argument(
         "--skip-scalar",
         action="store_true",
         help="skip the slow scalar-oracle timing (no speedup column)",
     )
+    parser.add_argument(
+        "--skip-exhaustive",
+        action="store_true",
+        help="skip the exhaustive-search policy timings",
+    )
+    parser.add_argument(
+        "--guard",
+        action="store_true",
+        help="fail (exit 1) when the fresh measurement violates the perf "
+        "floors stored in the trajectory file",
+    )
     args = parser.parse_args()
 
-    payload = benchmark_motion_estimation(
-        num_frames=args.frames, include_scalar=not args.skip_scalar
-    )
-    payload["python"] = platform.python_version()
-    payload["machine"] = platform.machine()
+    resolutions, preset_frames, preset_scalar = PRESETS[args.preset]
+    include_scalar = preset_scalar and not args.skip_scalar
+    if args.guard and (args.skip_scalar or args.skip_exhaustive):
+        parser.error("--guard needs the scalar and exhaustive measurements")
 
-    args.output.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {args.output}")
-    for entry in payload["results"]:
-        line = (
-            f"  {entry['resolution']:>6}: vectorized {entry['vectorized_fps']:.1f} fps"
-        )
-        if "speedup" in entry:
+    entry = benchmark_motion_estimation(
+        resolutions=resolutions,
+        num_frames=args.frames if args.frames is not None else preset_frames,
+        include_scalar=include_scalar,
+        include_exhaustive=not args.skip_exhaustive,
+    )
+    entry["date"] = datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+    entry["preset"] = args.preset
+    entry["python"] = platform.python_version()
+    entry["machine"] = platform.machine()
+
+    document = load_trajectory(args.output)
+    document["entries"].append(entry)
+    args.output.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"appended entry {len(document['entries'])} to {args.output}")
+
+    for result in entry["results"]:
+        line = f"  {result['resolution']:>6}: TSS {result['vectorized_fps']:.1f} fps"
+        if "speedup" in result:
+            line += f" ({result['speedup']:.1f}x scalar)"
+        if "es_pruned_fps" in result:
             line += (
-                f", scalar {entry['scalar_fps']:.2f} fps, "
-                f"speedup {entry['speedup']:.1f}x"
+                f"; ES full {result['es_full_fps']:.1f} -> pruned "
+                f"{result['es_pruned_fps']:.1f} fps "
+                f"({result['es_pruned_speedup_vs_full']:.1f}x, "
+                f"{result['es_pruned_evaluated_fraction']:.1%} candidates)"
             )
+        if "fixed_point_fps" in result:
+            line += f"; Q8.4 TSS {result['fixed_point_fps']:.1f} fps"
         print(line)
+
+    if args.guard:
+        violations = check_floors(entry, document["floors"])
+        if violations:
+            for violation in violations:
+                print(f"PERF FLOOR VIOLATION — {violation}", file=sys.stderr)
+            return 1
+        print("perf floors OK:", ", ".join(
+            f"{key}={value}" for key, value in document["floors"].items()
+        ))
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -300,21 +300,28 @@ def build_pipeline(
     block_size: int = 16,
     search_range: int = 7,
     exhaustive_search: bool = False,
+    search_policy: str = "pruned",
     sub_roi_grid: tuple = (2, 2),
     expose_motion_vectors: bool = True,
 ) -> EuphratesPipeline:
     """Assemble a pipeline from the most commonly swept parameters.
 
     ``extrapolation_window`` accepts an integer (constant EW-N mode) or the
-    string ``"adaptive"`` (EW-A mode).
+    string ``"adaptive"`` (EW-A mode).  ``search_policy`` picks the
+    exhaustive-search candidate-scan policy (``"full"``/``"spiral"``/
+    ``"pruned"`` — all result-identical); it is ignored by three-step
+    search.
     """
-    from ..motion.block_matching import SearchStrategy
+    from ..motion.block_matching import SearchPolicy, SearchStrategy
     from .window import AdaptiveWindowController
 
     strategy = SearchStrategy.EXHAUSTIVE if exhaustive_search else SearchStrategy.THREE_STEP
     config = EuphratesConfig(
         block_matching=BlockMatchingConfig(
-            block_size=block_size, search_range=search_range, strategy=strategy
+            block_size=block_size,
+            search_range=search_range,
+            strategy=strategy,
+            search_policy=SearchPolicy(search_policy),
         ),
         extrapolation=ExtrapolationConfig(sub_roi_grid=sub_roi_grid),
         expose_motion_vectors=expose_motion_vectors,

@@ -65,6 +65,14 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="near-minimal 2-sequence datasets (CI smoke profile) instead of the full benchmark sizes",
     )
+    parser.add_argument(
+        "--search-policy",
+        choices=("full", "spiral", "pruned"),
+        default="pruned",
+        help="exhaustive-search candidate-scan policy for ES sweeps (Fig. 11b); "
+        "all policies are result-identical, they differ only in work skipped "
+        "(default: pruned)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -90,7 +98,10 @@ def _make_context(args: argparse.Namespace) -> ExperimentContext:
     workers = args.workers if args.workers and args.workers > 1 else None
     datasets = DatasetSpec.smoke() if args.smoke else DatasetSpec()
     return ExperimentContext(
-        runner=SweepRunner(max_workers=workers), datasets=datasets, seed=args.seed
+        runner=SweepRunner(max_workers=workers),
+        datasets=datasets,
+        seed=args.seed,
+        search_policy=args.search_policy,
     )
 
 

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from ..eval.attributes import attribute_precision
 from ..eval.detection import precision_curve
 from ..eval.tracking import per_sequence_success, success_curve, success_rate
@@ -388,18 +390,27 @@ def figure11b_es_vs_tss(
     thresholds: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
     seed: int = 1,
     runner: Optional[SweepRunner] = None,
+    search_policy: str = "pruned",
 ) -> Dict[str, List[Tuple[float, float, float]]]:
     """Fig. 11b: success rate with exhaustive search vs three-step search.
 
     Returns, per EW configuration, a list of ``(iou_threshold, es, tss)``
-    points — the scatter data of the figure.
+    points — the scatter data of the figure.  ``search_policy`` picks the ES
+    candidate-scan policy; because every policy is result-identical the
+    scatter does not depend on it, only the work spent producing it does.
     """
     dataset = dataset or build_tracking_dataset(otb_sequences=8, vot_sequences=0)
     runner = runner or SweepRunner()
     scatter: Dict[str, List[Tuple[float, float, float]]] = {}
     for window in ew_values:
         es_run = runner.run(
-            "tracking", "mdnet", dataset, window, exhaustive_search=True, seed=seed
+            "tracking",
+            "mdnet",
+            dataset,
+            window,
+            exhaustive_search=True,
+            search_policy=search_policy,
+            seed=seed,
         )
         tss_run = runner.run(
             "tracking", "mdnet", dataset, window, exhaustive_search=False, seed=seed
@@ -410,6 +421,55 @@ def figure11b_es_vs_tss(
             (float(t), es_curve[float(t)], tss_curve[float(t)]) for t in thresholds
         ]
     return scatter
+
+
+def search_policy_comparison(
+    height: int = 192,
+    width: int = 256,
+    block_size: int = 16,
+    search_range: int = 7,
+    seed: int = 0,
+) -> List[Tuple[str, float, int, bool]]:
+    """Compare ES candidate-scan policies on one synthetic frame pair.
+
+    Returns rows of ``(policy, evaluated_candidate_fraction, operation
+    count, identical_to_full)`` — the work each policy spends to produce the
+    motion field the full scan would, and a direct bit-identity check.
+    Deterministic (op counts, not wall time), so experiment artifacts and CI
+    smoke runs can assert on it.
+    """
+    from ..motion.block_matching import (
+        BlockMatcher,
+        BlockMatchingConfig,
+        SearchPolicy,
+        SearchStrategy,
+    )
+    from .perf import synthetic_luma_sequence
+
+    frames = synthetic_luma_sequence(height, width, 2, seed=seed)
+    rows: List[Tuple[str, float, int, bool]] = []
+    reference = None
+    for policy in (SearchPolicy.FULL, SearchPolicy.SPIRAL, SearchPolicy.PRUNED):
+        matcher = BlockMatcher(
+            BlockMatchingConfig(
+                block_size=block_size,
+                search_range=search_range,
+                strategy=SearchStrategy.EXHAUSTIVE,
+                search_policy=policy,
+            )
+        )
+        field = matcher.estimate(frames[1], frames[0])
+        if reference is None:
+            reference = field
+        identical = bool(
+            np.array_equal(field.vectors, reference.vectors)
+            and np.array_equal(field.sad, reference.sad)
+        )
+        stats = matcher.last_search_stats
+        rows.append(
+            (policy.value, stats.evaluated_fraction, matcher.last_operation_count, identical)
+        )
+    return rows
 
 
 # ----------------------------------------------------------------------
@@ -570,7 +630,10 @@ def _fig11a(context: ExperimentContext) -> ExperimentArtifact:
 @register("fig11b", "Fig. 11b: exhaustive search vs three-step search", kind="figure")
 def _fig11b(context: ExperimentContext) -> ExperimentArtifact:
     scatter = figure11b_es_vs_tss(
-        dataset=context.small_tracking_dataset, seed=context.seed, runner=context.runner
+        dataset=context.small_tracking_dataset,
+        seed=context.seed,
+        runner=context.runner,
+        search_policy=context.search_policy,
     )
     artifact = ExperimentArtifact(
         name="fig11b", title="Fig. 11b: exhaustive search vs three-step search", kind="figure"
@@ -583,8 +646,17 @@ def _fig11b(context: ExperimentContext) -> ExperimentArtifact:
             for threshold, es, tss in points
         ],
     )
+    artifact.add_table(
+        ["search_policy", "evaluated_fraction", "operation_count", "identical_to_full"],
+        [
+            [policy, round(fraction, 4), ops, identical]
+            for policy, fraction, ops, identical in search_policy_comparison()
+        ],
+        title="ES candidate-scan policies: work spent for the identical result",
+    )
     artifact.metadata.update(_dataset_metadata(context.small_tracking_dataset))
     artifact.metadata["seed"] = context.seed
+    artifact.metadata["search_policy"] = context.search_policy
     return artifact
 
 

@@ -3,9 +3,14 @@
 Measures frames/sec of the vectorized block matcher on synthetic 720p/1080p
 sequences and compares it against the scalar reference oracle
 (:mod:`repro.motion.reference`), so every PR can check the perf trajectory.
-The results are dumped to ``BENCH_motion.json`` by
-``benchmarks/run_motion_bench.py`` and asserted by
-``benchmarks/test_perf_motion.py``.
+Besides the three-step search (the production default) the benchmark times
+the exhaustive search under each candidate-scan policy
+(full/spiral/pruned — all result-identical) and the fixed-point float-frame
+path, the two hot-path gaps this repo's trajectory tracks.
+
+The results are appended to the ``BENCH_motion.json`` trajectory by
+``benchmarks/run_motion_bench.py`` (which also enforces the stored perf
+floors for CI) and asserted by ``benchmarks/test_perf_motion.py``.
 """
 
 from __future__ import annotations
@@ -15,7 +20,12 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..motion.block_matching import BlockMatcher, BlockMatchingConfig, SearchStrategy
+from ..motion.block_matching import (
+    BlockMatcher,
+    BlockMatchingConfig,
+    SearchPolicy,
+    SearchStrategy,
+)
 from ..motion.reference import scalar_estimate
 
 #: Benchmark resolutions: label -> (height, width).
@@ -45,12 +55,12 @@ def synthetic_luma_sequence(
     return frames
 
 
-def _time_per_frame(estimate, frames: np.ndarray) -> float:
+def _time_per_frame(estimate, frames) -> float:
     start = time.perf_counter()
-    for index in range(1, frames.shape[0]):
+    for index in range(1, len(frames)):
         estimate(frames[index], frames[index - 1])
     elapsed = time.perf_counter() - start
-    return elapsed / (frames.shape[0] - 1)
+    return elapsed / (len(frames) - 1)
 
 
 def benchmark_motion_estimation(
@@ -59,14 +69,28 @@ def benchmark_motion_estimation(
     block_size: int = 16,
     search_range: int = 7,
     include_scalar: bool = True,
+    include_exhaustive: bool = True,
+    include_fixed_point: bool = True,
     seed: int = 0,
 ) -> Dict[str, object]:
-    """Benchmark vectorized TSS (and the scalar oracle) per resolution.
+    """Benchmark the vectorized searches (and the scalar oracle) per resolution.
 
-    Returns a JSON-ready dict with per-resolution frames/sec, per-frame
-    latency, the analytical ops/frame counts, and the vectorized-vs-scalar
-    speedup.  ``include_scalar=False`` skips the slow oracle timing (useful
-    for quick smoke runs).
+    Returns a JSON-ready dict with, per resolution:
+
+    * vectorized TSS frames/sec and latency (the legacy ``vectorized_*``
+      keys), the analytical op counts, and — with ``include_scalar`` — the
+      scalar-oracle timing and the vectorized-vs-scalar ``speedup``;
+    * with ``include_exhaustive``, exhaustive-search timing per candidate
+      scan policy (``es_full_*``/``es_spiral_*``/``es_pruned_*``), the
+      pruned policy's evaluated-candidate fraction, and the headline
+      ``es_pruned_speedup_vs_full`` and ``es_pruned_vs_tss`` ratios;
+    * with ``include_fixed_point``, TSS timing on Q8.4 fixed-point float
+      frames (``fixed_point_*``) and its ratio to the uint8 fast path —
+      tracking that float-valued frames no longer fall off onto the float64
+      gather kernel.
+
+    ``include_scalar=False`` skips the slow oracle timing (useful for quick
+    smoke runs).
     """
     if num_frames < 2:
         raise ValueError("num_frames must be >= 2 (timing needs at least one frame pair)")
@@ -102,10 +126,58 @@ def benchmark_motion_estimation(
             entry["scalar_s_per_frame"] = scalar_s
             entry["scalar_fps"] = 1.0 / scalar_s
             entry["speedup"] = scalar_s / vector_s
+
+        if include_exhaustive:
+            es_seconds: Dict[str, float] = {}
+            for policy in SearchPolicy:
+                es_matcher = BlockMatcher(
+                    BlockMatchingConfig(
+                        block_size=block_size,
+                        search_range=search_range,
+                        strategy=SearchStrategy.EXHAUSTIVE,
+                        search_policy=policy,
+                    )
+                )
+                es_matcher.estimate(frames[1], frames[0])  # warm-up
+                es_s = _time_per_frame(es_matcher.estimate, frames)
+                es_seconds[policy.value] = es_s
+                entry[f"es_{policy.value}_s_per_frame"] = es_s
+                entry[f"es_{policy.value}_fps"] = 1.0 / es_s
+                if policy is SearchPolicy.PRUNED:
+                    entry["es_pruned_evaluated_fraction"] = (
+                        es_matcher.last_search_stats.evaluated_fraction
+                    )
+            entry["es_pruned_speedup_vs_full"] = (
+                es_seconds["full"] / es_seconds["pruned"]
+            )
+            entry["es_spiral_speedup_vs_full"] = (
+                es_seconds["full"] / es_seconds["spiral"]
+            )
+            # > 1 means pruned ES is still slower than TSS; the trajectory
+            # tracks this gap closing.
+            entry["es_pruned_vs_tss"] = es_seconds["pruned"] / vector_s
+
+        if include_fixed_point:
+            # Q8.4 lattice floats: integer-valued after scaling by 16, so
+            # the kernel must ride the exact integer path, not the float64
+            # gather.  The +1/16 keeps the full 0..255 value range with a
+            # non-zero fractional part, so the scaled integers span 0..4081
+            # and the kernel lands in the int32 working dtype — the same
+            # regime the quantized ISP's real Q8.4 frames execute (a /16
+            # shrink would scale back into uint8 and measure a faster path
+            # the pipeline never takes).  The uniform offset on both frames
+            # leaves every SAD, and hence the search work, unchanged.
+            lattice_frames = [frame.astype(np.float64) + 1.0 / 16.0 for frame in frames]
+            matcher.estimate(lattice_frames[1], lattice_frames[0])  # warm-up
+            fixed_s = _time_per_frame(matcher.estimate, lattice_frames)
+            entry["fixed_point_s_per_frame"] = fixed_s
+            entry["fixed_point_fps"] = 1.0 / fixed_s
+            entry["fixed_point_vs_uint8"] = fixed_s / vector_s
+            entry["fixed_point_kernel_exact"] = bool(matcher.last_kernel_exact)
         results.append(entry)
 
     return {
-        "benchmark": "motion_estimation_tss",
+        "benchmark": "motion_estimation",
         "block_size": block_size,
         "search_range": search_range,
         "results": results,

@@ -86,6 +86,7 @@ class SweepPoint:
     block_size: int = 16
     search_range: int = 7
     exhaustive_search: bool = False
+    search_policy: str = "pruned"  # "full", "spiral" or "pruned"
     seed: int = 1
 
 
@@ -133,9 +134,16 @@ class SweepRunner:
         block_size: int = 16,
         search_range: int = 7,
         exhaustive_search: bool = False,
+        search_policy: str = "pruned",
         seed: int = 1,
     ) -> DatasetRunResult:
-        """Run (or reuse) one pipeline configuration over ``dataset``."""
+        """Run (or reuse) one pipeline configuration over ``dataset``.
+
+        ``search_policy`` selects the exhaustive-search candidate-scan
+        policy; it participates in the cache key so policy-comparison
+        experiments measure genuinely separate runs, even though every
+        policy returns bit-identical motion fields.
+        """
         point = SweepPoint(
             dataset_key=self.dataset_key(dataset),
             task=task,
@@ -144,6 +152,7 @@ class SweepRunner:
             block_size=block_size,
             search_range=search_range,
             exhaustive_search=exhaustive_search,
+            search_policy=search_policy,
             seed=seed,
         )
         cached = self._cache.get(point)
@@ -163,6 +172,7 @@ class SweepRunner:
             block_size=block_size,
             search_range=search_range,
             exhaustive_search=exhaustive_search,
+            search_policy=search_policy,
         )
         result = pipeline.run_dataset_result(dataset, max_workers=self.max_workers)
         self._cache[point] = result
@@ -275,10 +285,14 @@ class ExperimentContext:
         runner: Optional[SweepRunner] = None,
         datasets: Optional[DatasetSpec] = None,
         seed: int = 1,
+        search_policy: str = "pruned",
     ) -> None:
         self.runner = runner or SweepRunner()
         self.datasets = datasets or DatasetSpec()
         self.seed = seed
+        #: Exhaustive-search candidate-scan policy used by the experiments
+        #: that sweep ES configurations (Fig. 11b).
+        self.search_policy = search_policy
         self._dataset_cache: Dict[str, Dataset] = {}
         self._artifacts: Dict[str, ExperimentArtifact] = {}
 

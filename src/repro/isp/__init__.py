@@ -19,10 +19,17 @@ from .stages import (
     rgb_to_luma,
 )
 from .denoise import TemporalDenoiseStage
-from .framebuffer import FrameBuffer, FrameBufferEntry
+from .framebuffer import (
+    DEFAULT_FRAME_FORMAT,
+    FixedPointFormat,
+    FrameBuffer,
+    FrameBufferEntry,
+)
 from .pipeline import ISPConfig, ISPPipeline, ProcessedFrame
 
 __all__ = [
+    "DEFAULT_FRAME_FORMAT",
+    "FixedPointFormat",
     "CameraSensor",
     "RawFrame",
     "SensorConfig",

@@ -22,6 +22,7 @@ from numpy.lib.stride_tricks import sliding_window_view
 
 from ..motion.block_matching import BlockMatcher, BlockMatchingConfig
 from ..motion.motion_field import MotionField
+from .framebuffer import DEFAULT_FRAME_FORMAT, FixedPointFormat
 
 
 @dataclass(frozen=True)
@@ -42,6 +43,12 @@ class TemporalDenoiseConfig:
     #: frame buffer stores 8-bit pixels.  Keeps the matcher on its
     #: exact-integer fast path; the denoising blend itself stays in float.
     quantize_matching: bool = True
+    #: Matching domain used when ``quantize_matching`` is off: float luma is
+    #: snapped onto this fixed-point lattice (default Q8.4 — 16x finer than
+    #: the 8-bit path) so the matcher still rides the exact integer kernel
+    #: instead of the ~1x-scalar float64 gather path.  ``None`` restores the
+    #: legacy raw-float matching domain.
+    matching_format: Optional[FixedPointFormat] = DEFAULT_FRAME_FORMAT
 
 
 class TemporalDenoiseStage:
@@ -72,9 +79,11 @@ class TemporalDenoiseStage:
 
     def _matching_reference(self, frame: np.ndarray) -> np.ndarray:
         """The representation of ``frame`` handed to the block matcher."""
-        if not self.config.quantize_matching:
-            return frame
-        return np.clip(np.rint(frame), 0.0, 255.0).astype(np.uint8)
+        if self.config.quantize_matching:
+            return np.clip(np.rint(frame), 0.0, 255.0).astype(np.uint8)
+        if self.config.matching_format is not None:
+            return self.config.matching_format.quantize(frame)
+        return frame
 
     def process(self, luma: np.ndarray, **context) -> Tuple[np.ndarray, Optional[MotionField]]:
         """Denoise ``luma`` and return ``(denoised, motion_field)``.

@@ -5,6 +5,14 @@ buffer in DRAM; the backend IPs read from it through the system MMU
 (Sec. 4.2).  Euphrates piggybacks the existing frame-buffer mechanism to
 carry the motion vectors: they are appended to the metadata section, adding
 only ~8 KB to the ~6 MB a 1080p frame already occupies.
+
+The module also defines the **fixed-point frame representation** the ISP
+stages quantize to (:class:`FixedPointFormat`).  A real ISP datapath carries
+pixels as narrow fixed-point words, not float64; modelling that explicitly
+means every frame the pipeline produces lies on a power-of-two lattice, so
+block matching always rides the exact integer SAD kernel
+(:mod:`repro.motion.kernels`) instead of falling off onto the float64
+gather path.
 """
 
 from __future__ import annotations
@@ -23,6 +31,68 @@ from ..motion.motion_field import MotionField
 PIXEL_BYTES_PER_PIXEL = 3
 
 
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A ``Qm.f`` unsigned fixed-point pixel format.
+
+    Values lie on the ``2**-frac_bits`` lattice within
+    ``[0, 2**int_bits - 2**-frac_bits]``.  Frames are *carried* as float64
+    (so existing numpy code is untouched) but every value is an exact
+    multiple of the lattice step — which is precisely what the exact-integer
+    SAD kernel detects and exploits.
+    """
+
+    int_bits: int = 8
+    frac_bits: int = 4
+
+    def __post_init__(self) -> None:
+        if self.int_bits <= 0 or self.frac_bits < 0:
+            raise ValueError("int_bits must be positive and frac_bits non-negative")
+
+    @property
+    def scale(self) -> int:
+        """Lattice denominator: raw code = value * scale."""
+        return 1 << self.frac_bits
+
+    @property
+    def total_bits(self) -> int:
+        return self.int_bits + self.frac_bits
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable value (all code bits set)."""
+        return ((1 << self.total_bits) - 1) / self.scale
+
+    @property
+    def storage_dtype(self) -> np.dtype:
+        """Narrowest unsigned dtype that holds a raw code."""
+        for candidate in (np.uint8, np.uint16, np.uint32):
+            if self.total_bits <= 8 * np.dtype(candidate).itemsize:
+                return np.dtype(candidate)
+        return np.dtype(np.uint64)
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Round to the nearest representable value (saturating, float64 out)."""
+        scaled = np.rint(np.asarray(values, dtype=np.float64) * self.scale)
+        return np.clip(scaled, 0.0, (1 << self.total_bits) - 1) / self.scale
+
+    def to_raw(self, values: np.ndarray) -> np.ndarray:
+        """Quantize and pack into raw integer codes (the DRAM representation)."""
+        scaled = np.rint(np.asarray(values, dtype=np.float64) * self.scale)
+        clipped = np.clip(scaled, 0.0, (1 << self.total_bits) - 1)
+        return clipped.astype(self.storage_dtype)
+
+    def from_raw(self, raw: np.ndarray) -> np.ndarray:
+        """Expand raw codes back to lattice-aligned float64 values."""
+        return np.asarray(raw, dtype=np.float64) / self.scale
+
+
+#: The pipeline's default frame format: Q8.4 — the 8-bit range real ISPs
+#: commit to DRAM plus 4 fractional bits of intermediate precision, the
+#: same lattice the SAD kernel probes for.
+DEFAULT_FRAME_FORMAT = FixedPointFormat(int_bits=8, frac_bits=4)
+
+
 @dataclass
 class FrameBufferEntry:
     """One frame's worth of data in the DRAM frame buffer."""
@@ -37,6 +107,10 @@ class FrameBufferEntry:
     #: Extra metadata bytes (exposure, AWB gains, histograms ...) that a real
     #: ISP writes regardless of Euphrates.
     baseline_metadata_bytes: int = 256
+    #: Fixed-point format the pixel values lie on; ``None`` for legacy
+    #: unquantized frames.  Purely descriptive — the byte accounting keeps
+    #: the paper's 3 bytes/pixel figure either way.
+    pixel_format: Optional[FixedPointFormat] = None
 
     @property
     def height(self) -> int:

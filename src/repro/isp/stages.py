@@ -5,14 +5,23 @@ after the blocks shown in the paper's Fig. 2: dead-pixel correction and
 demosaicing in the Bayer domain, then colour balance and gamma in the RGB
 domain.  Stages report an approximate arithmetic-operation count per pixel so
 the SoC model can account for ISP compute.
+
+Every stage optionally quantizes its output to a
+:class:`~repro.isp.framebuffer.FixedPointFormat` — the fixed-point datapath
+of a real ISP.  With a format configured (the pipeline default), the frames
+each stage emits lie on a power-of-two lattice, so downstream block matching
+always rides the exact integer SAD kernel instead of the float64 gather
+path.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
+
+from .framebuffer import FixedPointFormat
 
 
 class ISPStage(ABC):
@@ -22,6 +31,10 @@ class ISPStage(ABC):
     #: compute-overhead accounting in Sec. 5.1.
     ops_per_pixel: float = 1.0
 
+    #: Fixed-point format the stage's output is quantized to; ``None``
+    #: keeps the unquantized float output (the legacy behaviour).
+    output_format: Optional[FixedPointFormat] = None
+
     @property
     def name(self) -> str:
         return type(self).__name__
@@ -29,6 +42,12 @@ class ISPStage(ABC):
     @abstractmethod
     def process(self, image: np.ndarray, **context) -> np.ndarray:
         """Transform the image, returning a new array."""
+
+    def _finalize(self, image: np.ndarray) -> np.ndarray:
+        """Snap the stage output onto the configured fixed-point lattice."""
+        if self.output_format is None:
+            return image
+        return self.output_format.quantize(image)
 
 
 class DeadPixelCorrection(ISPStage):
@@ -41,15 +60,20 @@ class DeadPixelCorrection(ISPStage):
 
     ops_per_pixel = 6.0
 
-    def __init__(self, detection_threshold: float = 40.0) -> None:
+    def __init__(
+        self,
+        detection_threshold: float = 40.0,
+        output_format: Optional[FixedPointFormat] = None,
+    ) -> None:
         self.detection_threshold = detection_threshold
+        self.output_format = output_format
 
     def process(self, image: np.ndarray, **context) -> np.ndarray:
         corrected = image.astype(np.float64).copy()
         neighbour_mean = _same_channel_neighbour_mean(corrected)
         dead = (neighbour_mean - corrected) > self.detection_threshold
         corrected[dead] = neighbour_mean[dead]
-        return corrected
+        return self._finalize(corrected)
 
 
 class Demosaic(ISPStage):
@@ -57,17 +81,23 @@ class Demosaic(ISPStage):
 
     ops_per_pixel = 12.0
 
+    def __init__(self, output_format: Optional[FixedPointFormat] = None) -> None:
+        self.output_format = output_format
+
     def process(self, image: np.ndarray, **context) -> np.ndarray:
         channel_map = context.get("channel_map")
         if channel_map is None:
             raise ValueError("Demosaic requires the sensor channel_map in context")
-        return _bilinear_demosaic(image.astype(np.float64), channel_map)
+        return self._finalize(_bilinear_demosaic(image.astype(np.float64), channel_map))
 
 
 class WhiteBalance(ISPStage):
     """Grey-world white balance applied to an RGB image."""
 
     ops_per_pixel = 3.0
+
+    def __init__(self, output_format: Optional[FixedPointFormat] = None) -> None:
+        self.output_format = output_format
 
     def process(self, image: np.ndarray, **context) -> np.ndarray:
         if image.ndim != 3 or image.shape[2] != 3:
@@ -77,7 +107,7 @@ class WhiteBalance(ISPStage):
         overall = means.mean()
         gains = np.where(means > 1e-6, overall / np.maximum(means, 1e-6), 1.0)
         balanced *= gains[None, None, :]
-        return np.clip(balanced, 0.0, 255.0)
+        return self._finalize(np.clip(balanced, 0.0, 255.0))
 
 
 class GammaCorrection(ISPStage):
@@ -85,24 +115,36 @@ class GammaCorrection(ISPStage):
 
     ops_per_pixel = 2.0
 
-    def __init__(self, gamma: float = 1.0) -> None:
+    def __init__(
+        self, gamma: float = 1.0, output_format: Optional[FixedPointFormat] = None
+    ) -> None:
         if gamma <= 0:
             raise ValueError("gamma must be positive")
         self.gamma = gamma
+        self.output_format = output_format
 
     def process(self, image: np.ndarray, **context) -> np.ndarray:
         if self.gamma == 1.0:
-            return image.astype(np.float64)
+            return self._finalize(image.astype(np.float64))
         normalised = np.clip(image.astype(np.float64) / 255.0, 0.0, 1.0)
-        return 255.0 * np.power(normalised, self.gamma)
+        return self._finalize(255.0 * np.power(normalised, self.gamma))
 
 
-def rgb_to_luma(rgb: np.ndarray) -> np.ndarray:
-    """BT.601 luma from an RGB image (the representation the backend uses)."""
+def rgb_to_luma(
+    rgb: np.ndarray, output_format: Optional[FixedPointFormat] = None
+) -> np.ndarray:
+    """BT.601 luma from an RGB image (the representation the backend uses).
+
+    With ``output_format`` the luma plane is quantized onto the fixed-point
+    lattice, keeping it on the exact integer block-matching path.
+    """
     if rgb.ndim != 3 or rgb.shape[2] != 3:
         raise ValueError("rgb_to_luma expects an (H, W, 3) image")
     weights = np.array([0.299, 0.587, 0.114])
-    return np.clip(rgb @ weights, 0.0, 255.0)
+    luma = np.clip(rgb @ weights, 0.0, 255.0)
+    if output_format is None:
+        return luma
+    return output_format.quantize(luma)
 
 
 # ----------------------------------------------------------------------

@@ -11,11 +11,13 @@ exposes to the vision backend through the frame-buffer metadata.
 from .block_matching import (
     BlockMatcher,
     BlockMatchingConfig,
+    SearchPolicy,
+    SearchStats,
     SearchStrategy,
     exhaustive_search_ops_per_macroblock,
     three_step_search_ops_per_macroblock,
 )
-from .kernels import SadKernel
+from .kernels import SadKernel, fixed_point_scale
 from .motion_field import MacroblockGrid, MotionField
 from .reference import scalar_estimate
 from .sad import sum_of_absolute_differences
@@ -24,7 +26,10 @@ __all__ = [
     "BlockMatcher",
     "BlockMatchingConfig",
     "SadKernel",
+    "SearchPolicy",
+    "SearchStats",
     "SearchStrategy",
+    "fixed_point_scale",
     "MacroblockGrid",
     "MotionField",
     "scalar_estimate",

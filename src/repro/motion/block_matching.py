@@ -17,6 +17,24 @@ of NumPy dispatches regardless of frame size.  The original per-macroblock
 Python loops live on in :mod:`repro.motion.reference` as the bit-identical
 correctness oracle.
 
+Exhaustive search additionally supports three **search policies**, all of
+which return bit-identical motion fields (same argmin, same SAD — the
+pruning rules only ever skip candidates that provably cannot *strictly*
+improve a block's best SAD, which is exactly the full scan's update rule):
+
+* ``FULL`` — evaluate every block at every offset; the original scan.
+* ``SPIRAL`` — visit offsets in the same nearest-to-zero spiral order, but
+  skip blocks whose best SAD already hit 0 (SAD is non-negative, so no
+  candidate can strictly beat a perfect match) and stop outright once every
+  block is perfect.
+* ``PRUNED`` — spiral plus a partial-sum lower-bound pass: a block is
+  evaluated at an offset only when the triangle-inequality bound
+  ``|sum(block) - sum(reference)|`` is still below its best SAD.  The bound
+  costs O(1) per block per offset from summed-area tables, versus ``L^2``
+  for the SAD it avoids.  Requires the kernel's exact-integer mode (where
+  the bound is computed exactly); on genuinely fractional float frames it
+  degrades to ``SPIRAL`` behaviour.
+
 Both strategies return a :class:`~repro.motion.motion_field.MotionField`
 holding forward motion vectors (previous frame -> current frame) and the SAD
 of the best match, which later feeds the confidence filter of Eq. 2.
@@ -40,6 +58,38 @@ class SearchStrategy(Enum):
 
     EXHAUSTIVE = "exhaustive"
     THREE_STEP = "three_step"
+
+
+class SearchPolicy(Enum):
+    """Candidate-scan policy of the exhaustive search (result-identical)."""
+
+    FULL = "full"
+    SPIRAL = "spiral"
+    PRUNED = "pruned"
+
+
+@dataclass(frozen=True)
+class SearchStats:
+    """Work accounting for one exhaustive-search invocation.
+
+    ``candidates_total`` is what the full scan would evaluate
+    (``num_blocks * (2d+1)^2``); ``candidates_evaluated`` is what the active
+    policy actually computed SADs for.  ``lower_bound_checks`` counts the
+    O(1) partial-sum bound evaluations the pruned policy spent to avoid the
+    skipped SADs, and ``offsets_skipped`` counts candidate offsets for which
+    no block needed evaluation at all.
+    """
+
+    candidates_total: int
+    candidates_evaluated: int
+    lower_bound_checks: int = 0
+    offsets_skipped: int = 0
+
+    @property
+    def evaluated_fraction(self) -> float:
+        if self.candidates_total == 0:
+            return 0.0
+        return self.candidates_evaluated / self.candidates_total
 
 
 def exhaustive_search_ops_per_macroblock(block_size: int, search_range: int) -> int:
@@ -68,17 +118,26 @@ class BlockMatchingConfig:
         collapses to the co-located block).
     strategy:
         Exhaustive or three-step search.
+    search_policy:
+        Candidate-scan policy of the exhaustive search (accepts the enum or
+        its string value).  All policies produce bit-identical motion
+        fields; ``PRUNED`` (the default) skips provably non-improving
+        candidates via the spiral early-exit and the partial-sum lower
+        bound.  Ignored by the three-step search.
     """
 
     block_size: int = 16
     search_range: int = 7
     strategy: SearchStrategy = SearchStrategy.THREE_STEP
+    search_policy: SearchPolicy = SearchPolicy.PRUNED
 
     def __post_init__(self) -> None:
         if self.block_size <= 0:
             raise ValueError("block_size must be positive")
         if self.search_range < 0:
             raise ValueError("search_range must be non-negative")
+        if not isinstance(self.search_policy, SearchPolicy):
+            object.__setattr__(self, "search_policy", SearchPolicy(self.search_policy))
 
     @property
     def ops_per_macroblock(self) -> int:
@@ -98,9 +157,18 @@ class BlockMatcher:
 
     def __init__(self, config: BlockMatchingConfig | None = None) -> None:
         self.config = config or BlockMatchingConfig()
-        #: Arithmetic-operation count of the most recent :meth:`estimate` call,
-        #: using the analytical per-macroblock formulas.
+        #: Arithmetic-operation count of the most recent :meth:`estimate` call.
+        #: Three-step search uses the analytical per-macroblock formula;
+        #: exhaustive search counts the candidates its policy actually
+        #: evaluated (identical to the analytical formula for ``FULL``).
         self.last_operation_count = 0
+        #: Candidate accounting of the most recent exhaustive search
+        #: (``None`` after a three-step run).
+        self.last_search_stats: SearchStats | None = None
+        #: Whether the most recent estimate rode the kernel's exact-integer
+        #: mode, and at which fixed-point scale (1 = plain integers).
+        self.last_kernel_exact = False
+        self.last_kernel_scale = 1
 
     # ------------------------------------------------------------------
     # Public API
@@ -129,12 +197,21 @@ class BlockMatcher:
             padded_current, padded_previous, self.config.block_size, self.config.search_range
         )
 
+        self.last_kernel_exact = kernel.exact_integer
+        self.last_kernel_scale = kernel.scale
         if self.config.strategy is SearchStrategy.EXHAUSTIVE:
             vectors, sad = self._exhaustive(kernel)
+            stats = self.last_search_stats
+            block_ops = self.config.block_size * self.config.block_size
+            # Evaluated SADs cost L^2 each; each lower-bound check costs a
+            # gather + subtract + abs + compare.
+            self.last_operation_count = (
+                stats.candidates_evaluated * block_ops + stats.lower_bound_checks * 4
+            )
         else:
             vectors, sad = self._three_step(kernel)
-
-        self.last_operation_count = grid.num_blocks * self.config.ops_per_macroblock
+            self.last_search_stats = None
+            self.last_operation_count = grid.num_blocks * self.config.ops_per_macroblock
         return MotionField(vectors, sad, grid, search_range=self.config.search_range)
 
     # ------------------------------------------------------------------
@@ -158,20 +235,88 @@ class BlockMatcher:
     # Exhaustive search
     # ------------------------------------------------------------------
     def _exhaustive(self, kernel: SadKernel) -> Tuple[np.ndarray, np.ndarray]:
+        """Spiral scan over the window, with policy-dependent pruning.
+
+        All three policies visit candidates in the same nearest-to-zero
+        order and update only on *strict* SAD improvement, so the pruning
+        rules (skip a block whose best SAD is 0; skip a block whose
+        partial-sum lower bound is not below its best SAD) can only skip
+        candidates the full scan would have rejected anyway — the returned
+        field is bit-identical across policies.
+        """
+        policy = self.config.search_policy
         d = self.config.search_range
         rows, cols = kernel.rows, kernel.cols
+        num_blocks = rows * cols
+        offsets = self._window_offsets(d)
 
-        best_sad = np.full((rows, cols), np.inf, dtype=np.float64)
+        # Dense whole-grid evaluation: exact-integer mode may use the cheap
+        # uniform-offset primitive (exact either way); float mode must stay
+        # on the gather primitive so dense and subset evaluations carry the
+        # same per-block rounding as the scalar reference — mixing in the
+        # whole-frame shifted difference would break bit-identity between
+        # policies on fractional frames.
+        dense_sad = kernel.sad_uniform if kernel.exact_integer else kernel.sad_per_block
+
+        # The spiral's first offset is always (0, 0): evaluating it up front
+        # seeds every block's best SAD without an inf sentinel.
+        best_sad = dense_sad(0, 0)
         best_dy = np.zeros((rows, cols), dtype=np.int64)
         best_dx = np.zeros((rows, cols), dtype=np.int64)
 
-        for dy, dx in self._window_offsets(d):
-            sad = kernel.sad_uniform(dy, dx)
-            improved = sad < best_sad
-            best_sad = np.where(improved, sad, best_sad)
-            best_dy[improved] = dy
-            best_dx[improved] = dx
+        evaluated = num_blocks
+        lower_bound_checks = 0
+        offsets_skipped = 0
+        use_lower_bound = policy is SearchPolicy.PRUNED and kernel.supports_lower_bound
 
+        for index, (dy, dx) in enumerate(offsets[1:], start=1):
+            if policy is SearchPolicy.FULL:
+                sad = dense_sad(dy, dx)
+                improved = sad < best_sad
+                best_sad = np.where(improved, sad, best_sad)
+                best_dy[improved] = dy
+                best_dx[improved] = dx
+                evaluated += num_blocks
+                continue
+
+            need = best_sad > 0.0
+            if not need.any():
+                # Every block already has a perfect match; SAD >= 0 means no
+                # remaining candidate can strictly improve.  Early exit —
+                # this offset and everything after it goes unevaluated.
+                offsets_skipped += len(offsets) - index
+                break
+            if use_lower_bound:
+                lower_bound_checks += num_blocks
+                need &= kernel.lower_bound_uniform(dy, dx) < best_sad
+            rows_idx, cols_idx = np.nonzero(need)
+            count = rows_idx.size
+            if count == 0:
+                offsets_skipped += 1
+                continue
+            evaluated += count
+            if count == num_blocks:
+                sad = dense_sad(dy, dx)
+                improved = sad < best_sad
+                best_sad = np.where(improved, sad, best_sad)
+                best_dy[improved] = dy
+                best_dx[improved] = dx
+            else:
+                sad = kernel.sad_subset(dy, dx, rows_idx, cols_idx)
+                improved = sad < best_sad[rows_idx, cols_idx]
+                if improved.any():
+                    sel_rows = rows_idx[improved]
+                    sel_cols = cols_idx[improved]
+                    best_sad[sel_rows, sel_cols] = sad[improved]
+                    best_dy[sel_rows, sel_cols] = dy
+                    best_dx[sel_rows, sel_cols] = dx
+
+        self.last_search_stats = SearchStats(
+            candidates_total=num_blocks * len(offsets),
+            candidates_evaluated=evaluated,
+            lower_bound_checks=lower_bound_checks,
+            offsets_skipped=offsets_skipped,
+        )
         # A match at offset (dx, dy) means the block content came from
         # (x + dx, y + dy) in the previous frame, i.e. it moved forward by
         # (-dx, -dy).

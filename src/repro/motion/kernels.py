@@ -18,15 +18,34 @@ Two execution modes, picked automatically per frame pair:
   traffic ~8x versus float64 and lets uniform offsets use cheap whole-frame
   shifted differences.  Results are bit-identical to the scalar float64
   reference by exactness.
+
+  The mode also covers **fixed-point frames**: float frames whose values all
+  lie on a power-of-two lattice (e.g. the Q8.4 frames the quantized ISP
+  stages emit, multiples of 1/16) are scaled up to integers, matched with
+  integer arithmetic, and the SADs divided back down.  Because every
+  per-block partial sum is a bounded multiple of the lattice step, float64
+  represents it exactly whatever the summation order, so the result is again
+  bit-identical to the scalar float64 reference.
 * **Float mode** — for general float frames, per-block SADs are computed by
   gathering ``(L, L)`` reference patches from a strided sliding-window view
   and reducing each block's C-contiguous absolute-difference patch over its
   trailing ``L*L`` elements — the same operation sequence, and therefore the
   same IEEE rounding, as the scalar reference loop
   (:mod:`repro.motion.reference`).  Bit-identical, at float64 bandwidth.
+
+On top of the two full-grid primitives the kernel exposes the pruning
+primitives that make the spiral/pruned exhaustive-search policies cheap:
+:meth:`sad_subset` evaluates one offset for a *subset* of macroblocks, and
+:meth:`lower_bound_uniform` computes the partial-sum (triangle-inequality)
+SAD lower bound ``|sum(block) - sum(reference patch)| <= SAD`` for every
+macroblock from O(1) summed-area-table lookups.  The lower bound is computed
+in exact integer arithmetic, so pruning on it can never discard a candidate
+the full scan would have accepted.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
@@ -34,6 +53,22 @@ from numpy.lib.stride_tricks import sliding_window_view
 #: Largest absolute frame value for which the exact-integer mode is used;
 #: guarantees every SAD stays far below 2**53 so float64 sums are exact.
 _MAX_EXACT_INT = 2**20
+
+#: Fractional-bit counts probed by :func:`fixed_point_scale` for float frames
+#: that are not integer-valued.  4 matches the ISP's Q8.4 frame format; 8
+#: covers finer lattices (any coarser lattice is also exact at 8 bits).
+_FRAC_BITS_CANDIDATES = (4, 8)
+
+
+def _bounded_integer_valued(frame: np.ndarray) -> bool:
+    """True when a float frame holds only bounded integer values."""
+    if frame.size == 0:
+        return True
+    low = float(frame.min())
+    high = float(frame.max())
+    if low < -_MAX_EXACT_INT or high > _MAX_EXACT_INT or not np.isfinite([low, high]).all():
+        return False
+    return bool((frame == np.floor(frame)).all())
 
 
 def frames_are_integer(*frames: np.ndarray) -> bool:
@@ -51,15 +86,41 @@ def frames_are_integer(*frames: np.ndarray) -> bool:
             continue
         if not np.issubdtype(frame.dtype, np.floating):
             return False
-        if frame.size == 0:
-            continue
-        low = float(frame.min())
-        high = float(frame.max())
-        if low < -_MAX_EXACT_INT or high > _MAX_EXACT_INT or not np.isfinite([low, high]).all():
-            return False
-        if not (frame == np.floor(frame)).all():
+        if not _bounded_integer_valued(frame):
             return False
     return True
+
+
+def fixed_point_scale(*frames: np.ndarray) -> Optional[int]:
+    """Smallest power-of-two scale that makes every frame integer-valued.
+
+    Returns ``1`` for plain integer(-valued) frames, ``2**f`` when every
+    float frame lies on the ``2**-f`` fixed-point lattice for one of the
+    probed fractional-bit counts (:data:`_FRAC_BITS_CANDIDATES`), and
+    ``None`` when the frames are genuinely fractional — the float-mode
+    fallback.  Scaling by the returned factor keeps every value within
+    ``_MAX_EXACT_INT * 2**f``, far below the float64 exactness limit.
+    """
+    if frames_are_integer(*frames):
+        return 1
+    float_frames = []
+    for frame in frames:
+        if np.issubdtype(frame.dtype, np.integer):
+            # Integer frames lie on every lattice; only the magnitude bound
+            # (which scaling tightens by at most 2**8) needs checking.
+            if frame.dtype.itemsize > 2 and frame.size and (
+                int(frame.min()) < -_MAX_EXACT_INT or int(frame.max()) > _MAX_EXACT_INT
+            ):
+                return None
+            continue
+        if not np.issubdtype(frame.dtype, np.floating):
+            return None
+        float_frames.append(frame)
+    for frac_bits in _FRAC_BITS_CANDIDATES:
+        scale = 1 << frac_bits
+        if all(_bounded_integer_valued(frame * scale) for frame in float_frames):
+            return scale
+    return None
 
 
 class SadKernel:
@@ -71,7 +132,8 @@ class SadKernel:
         2-D luma frames whose dimensions are already multiples of
         ``block_size`` (the :class:`~repro.motion.block_matching.BlockMatcher`
         edge-pads before constructing the kernel).  Integer dtypes (or
-        integer-valued float frames) select the exact-integer mode.
+        integer-valued / fixed-point-lattice float frames) select the
+        exact-integer mode.
     block_size:
         Macroblock edge length ``L``.
     search_range:
@@ -79,7 +141,9 @@ class SadKernel:
         satisfy ``|offset| <= d``.
     exact_integer:
         Force or forbid the exact-integer mode; ``None`` (default) detects
-        it from the frame contents.
+        it (including the fixed-point scale) from the frame contents.
+        Forcing ``True`` asserts the frames are integer-valued as-is
+        (scale 1).
     """
 
     def __init__(
@@ -106,11 +170,21 @@ class SadKernel:
         self.cols = width // block_size
         self.frame_height = height
         self.frame_width = width
+        #: Power-of-two factor the frames were scaled by before integer
+        #: matching; 1 for plain integer frames, >1 for fixed-point lattices.
+        self.scale = 1
         if exact_integer is None:
-            exact_integer = frames_are_integer(current, previous)
+            scale = fixed_point_scale(current, previous)
+            exact_integer = scale is not None
+            self.scale = scale if scale is not None else 1
         self.exact_integer = exact_integer
 
         if self.exact_integer:
+            if self.scale != 1:
+                # Lattice values times a power of two are exact integers in
+                # float64; rint only normalises the float representation.
+                current = np.rint(np.asarray(current, dtype=np.float64) * self.scale)
+                previous = np.rint(np.asarray(previous, dtype=np.float64) * self.scale)
             work = self._integer_dtype(current, previous)
             self._current = np.ascontiguousarray(current, dtype=work)
             self._padded = np.pad(
@@ -139,6 +213,9 @@ class SadKernel:
         self._windows = sliding_window_view(self._padded, (block_size, block_size))
         self._base_y = search_range + np.arange(self.rows)[:, None] * block_size
         self._base_x = search_range + np.arange(self.cols)[None, :] * block_size
+        # Lazily-built partial-sum pruning tables (exact-integer mode only).
+        self._block_sums: Optional[np.ndarray] = None
+        self._window_sums: Optional[np.ndarray] = None
 
     @staticmethod
     def _integer_dtype(current: np.ndarray, previous: np.ndarray) -> np.dtype:
@@ -157,6 +234,13 @@ class SadKernel:
         if low >= 0.0 and high <= 255.0:
             return np.dtype(np.uint8)
         return np.dtype(np.int32)
+
+    def _descale(self, sad: np.ndarray) -> np.ndarray:
+        """Integer SAD back to frame units (exact: scale is a power of two)."""
+        out = sad.astype(np.float64)
+        if self.scale != 1:
+            out /= self.scale
+        return out
 
     # ------------------------------------------------------------------
     # Public SAD primitives
@@ -196,6 +280,78 @@ class SadKernel:
         # order as the scalar reference's contiguous per-block sums.
         return np.abs(self._current_blocks - references).sum(axis=(2, 3))
 
+    def sad_subset(self, dy: int, dx: int, rows_idx, cols_idx) -> np.ndarray:
+        """SAD at one global displacement for a subset of macroblocks.
+
+        ``rows_idx``/``cols_idx`` are matching 1-D index arrays (as produced
+        by ``np.nonzero`` on a block mask).  Returns a ``(k,)`` float64
+        array, bit-identical per block to the full-grid primitives: both
+        modes gather C-contiguous ``(L, L)`` patches and reduce over the
+        trailing axes, the same pairwise order as the scalar reference.
+        """
+        ys = self._base_y[rows_idx, 0] + dy
+        xs = self._base_x[0, cols_idx] + dx
+        references = self._windows[ys, xs]
+        blocks = self._current_blocks[rows_idx, cols_idx]
+        if not self.exact_integer:
+            return np.abs(blocks - references).sum(axis=(1, 2))
+        if blocks.dtype == np.uint8:
+            diff = np.subtract(
+                np.maximum(blocks, references), np.minimum(blocks, references)
+            )
+        else:
+            diff = np.abs(blocks - references)
+        sad = diff.reshape(diff.shape[0], -1).sum(axis=-1, dtype=self._accum_dtype)
+        return self._descale(sad)
+
+    # ------------------------------------------------------------------
+    # Partial-sum lower bound (exact-integer mode only)
+    # ------------------------------------------------------------------
+    @property
+    def supports_lower_bound(self) -> bool:
+        """Whether :meth:`lower_bound_uniform` is available.
+
+        Only the exact-integer mode qualifies: the triangle inequality
+        ``|sum(a) - sum(b)| <= sum(|a - b|)`` is computed in exact integer
+        arithmetic there, so pruning on it is provably lossless.  In float
+        mode the bound's rounding could exceed the rounded SAD, which would
+        break bit-identity.
+        """
+        return self.exact_integer
+
+    def _ensure_prune_tables(self) -> None:
+        if self._block_sums is not None:
+            return
+        self._block_sums = self._current_blocks.reshape(self.rows, self.cols, -1).sum(
+            axis=-1, dtype=np.int64
+        )
+        # Summed-area table of the padded previous frame: the sum of the
+        # (L, L) window with top-left (y, x) is a 4-corner lookup, giving
+        # window sums aligned with self._windows' leading dimensions.
+        padded = np.asarray(self._padded, dtype=np.int64)
+        sat = np.zeros(
+            (padded.shape[0] + 1, padded.shape[1] + 1), dtype=np.int64
+        )
+        np.cumsum(np.cumsum(padded, axis=0), axis=1, out=sat[1:, 1:])
+        size = self.block_size
+        self._window_sums = (
+            sat[size:, size:] - sat[size:, :-size] - sat[:-size, size:] + sat[:-size, :-size]
+        )
+
+    def lower_bound_uniform(self, dy: int, dx: int) -> np.ndarray:
+        """Partial-sum SAD lower bound for every macroblock at one offset.
+
+        ``|sum(block) - sum(reference)| <= SAD(block, reference)`` holds
+        exactly in integer arithmetic, so a block whose bound is already no
+        better than its best SAD cannot strictly improve and may be skipped.
+        Returns a ``(rows, cols)`` float64 array in frame units.
+        """
+        if not self.exact_integer:
+            raise RuntimeError("partial-sum lower bound requires the exact-integer mode")
+        self._ensure_prune_tables()
+        references = self._window_sums[self._base_y + dy, self._base_x + dx]
+        return self._descale(np.abs(self._block_sums - references))
+
     # ------------------------------------------------------------------
     # Exact-integer gather kernel
     # ------------------------------------------------------------------
@@ -209,4 +365,4 @@ class SadKernel:
         else:
             diff = np.abs(self._current_blocks - references)
         sad = diff.reshape(self.rows, self.cols, -1).sum(axis=-1, dtype=self._accum_dtype)
-        return sad.astype(np.float64)
+        return self._descale(sad)

@@ -46,9 +46,17 @@ class TestSadKernelModes:
         assert kernel.exact_integer
 
     def test_float_mode_for_fractional_frames(self):
-        frame = np.full((16, 16), 0.5)
+        # 1/3 lies on no power-of-two lattice, so this is genuinely float.
+        frame = np.full((16, 16), 1.0 / 3.0)
         kernel = SadKernel(frame, frame, block_size=8, search_range=2)
         assert not kernel.exact_integer
+
+    def test_fixed_point_mode_for_lattice_frames(self):
+        # 0.5 lies on the Q8.4 lattice: matched in scaled integers.
+        frame = np.full((16, 16), 0.5)
+        kernel = SadKernel(frame, frame, block_size=8, search_range=2)
+        assert kernel.exact_integer
+        assert kernel.scale == 16
 
     def test_uniform_and_per_block_agree_on_integers(self):
         rng = np.random.default_rng(0)
