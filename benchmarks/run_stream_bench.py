@@ -1,0 +1,240 @@
+#!/usr/bin/env python
+"""Append a multi-stream throughput measurement to ``BENCH_motion.json``.
+
+Run from the repository root:
+
+    PYTHONPATH=src python benchmarks/run_stream_bench.py               # full preset
+    PYTHONPATH=src python benchmarks/run_stream_bench.py --preset ci
+    PYTHONPATH=src python benchmarks/run_stream_bench.py --streams 8 --frames 48
+
+The benchmark feeds N synthetic camera streams through the
+:class:`~repro.core.streaming.StreamMultiplexer` (fair-share E-frame
+interleaving, batched I-frame inference) and records, per run:
+
+* aggregate throughput (frames/sec across all streams) and wall time;
+* per-stream mean service latency and queue wait;
+* I-frame batching statistics (batch count, mean batch size);
+* the serial one-stream-after-another baseline for the same workload, and
+  the multiplexed/serial throughput ratio (~1.0 on one core — the
+  multiplexer adds scheduling, not parallelism — but the entry tracks the
+  scheduling overhead staying negligible).
+
+Each run **appends** a dated ``benchmark: "multi_stream"`` entry to the same
+trajectory file the motion bench uses, so the perf history of both hot
+paths accumulates in one place.  The pipeline configuration is a
+:class:`~repro.core.spec.PipelineSpec` taken from the standard spec flags
+(``--window``, ``--block-size``, ...); the recorded entry stores
+``spec.to_cli_args()`` so any measurement can be reproduced by pasting the
+flags back.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.core.backends import tracking_backend_for
+from repro.core.spec import PipelineSpec
+from repro.core.streaming import StreamMultiplexer
+from repro.video.synthetic import SequenceConfig, SequenceGenerator
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from run_motion_bench import load_trajectory  # noqa: E402
+
+#: Presets: name -> (streams, frames per stream, frame width, frame height).
+PRESETS = {
+    "full": (4, 60, 192, 108),
+    # Small CI preset: enough frames for several full EW cycles per stream.
+    "ci": (4, 24, 192, 108),
+}
+
+
+def make_streams(count: int, frames: int, width: int, height: int, seed: int):
+    """N single-object synthetic camera streams with distinct content."""
+    return [
+        SequenceGenerator(
+            SequenceConfig(
+                name=f"camera_{index}",
+                frame_width=width,
+                frame_height=height,
+                num_frames=frames,
+                num_objects=1,
+                seed=seed + index,
+            )
+        ).generate()
+        for index in range(count)
+    ]
+
+
+def benchmark_multiplexer(
+    spec: PipelineSpec,
+    streams: int,
+    frames: int,
+    width: int,
+    height: int,
+    seed: int,
+    e_frame_burst: int,
+    max_inference_batch: int,
+) -> dict:
+    sequences = make_streams(streams, frames, width, height, seed)
+    backend = tracking_backend_for("mdnet", seed=seed)
+
+    # Serial baseline: each stream through its own dedicated session, one
+    # after the other (what the pre-multiplexer API amounted to).  Sessions
+    # are opened outside the timed region so both sides of the ratio
+    # measure frame processing only — the multiplexer's wall_s likewise
+    # covers drain(), with session setup done in untimed add_stream().
+    serial_sessions = [
+        spec.build(tracking_backend_for("mdnet", seed=seed)).open_session(source=sequence)
+        for sequence in sequences
+    ]
+    # Warm-up: run one stream through a throwaway session so neither timed
+    # region pays first-call costs (allocator, code paths) — the serial
+    # region runs first and would otherwise absorb them all.
+    warmup = spec.build(tracking_backend_for("mdnet", seed=seed)).open_session(
+        source=sequences[0]
+    )
+    for _, frame in sequences[0].iter_frames():
+        warmup.submit(frame)
+    warmup.finish()
+
+    serial_start = time.perf_counter()
+    for session, sequence in zip(serial_sessions, sequences):
+        for _, frame in sequence.iter_frames():
+            session.submit(frame)
+        session.finish()
+    serial_s = time.perf_counter() - serial_start
+    total_frames = sum(sequence.num_frames for sequence in sequences)
+
+    # Multiplexed: all streams concurrently through one scheduler.
+    multiplexer = StreamMultiplexer(
+        spec.build(backend),
+        e_frame_burst=e_frame_burst,
+        max_inference_batch=max_inference_batch,
+    )
+    for sequence in sequences:
+        stream_id = multiplexer.add_stream(sequence)
+        multiplexer.feed_sequence(stream_id, sequence)
+    results = multiplexer.finish()
+    report = multiplexer.report()
+    assert all(len(results[s.name]) == s.num_frames for s in sequences)
+
+    return {
+        "benchmark": "multi_stream",
+        "spec": spec.to_cli_args(),
+        "spec_label": spec.describe(),
+        "streams": streams,
+        "frames_per_stream": frames,
+        "frame_width": width,
+        "frame_height": height,
+        "e_frame_burst": e_frame_burst,
+        "max_inference_batch": max_inference_batch,
+        "total_frames": report.frames_processed,
+        "inference_frames": report.inference_frames,
+        "extrapolation_frames": report.extrapolation_frames,
+        "inference_batches": report.inference_batches,
+        "mean_batch_size": report.mean_batch_size,
+        "mux_wall_s": report.wall_s,
+        "mux_aggregate_fps": report.aggregate_fps,
+        "serial_wall_s": serial_s,
+        "serial_aggregate_fps": total_frames / serial_s if serial_s > 0 else 0.0,
+        "mux_vs_serial": (serial_s / report.wall_s) if report.wall_s > 0 else 0.0,
+        "per_stream": [
+            {
+                "name": stats.name,
+                "frames": stats.frames_processed,
+                "inference_rate": stats.inference_rate,
+                "mean_service_latency_ms": stats.mean_service_latency_s * 1e3,
+                "mean_queue_wait_ms": stats.mean_queue_wait_s * 1e3,
+                "max_queue_depth": stats.max_queue_depth,
+            }
+            for stats in report.streams
+        ],
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_motion.json",
+        help="trajectory JSON to append to (default: repo-root BENCH_motion.json)",
+    )
+    parser.add_argument(
+        "--preset",
+        choices=sorted(PRESETS),
+        default="full",
+        help="workload preset (default: full)",
+    )
+    parser.add_argument("--streams", type=int, default=None, help="override stream count")
+    parser.add_argument(
+        "--frames", type=int, default=None, help="override frames per stream"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="content seed (default: 0)")
+    parser.add_argument(
+        "--e-frame-burst",
+        type=int,
+        default=4,
+        help="max consecutive E-frames per stream per scheduling round (default: 4)",
+    )
+    parser.add_argument(
+        "--max-inference-batch",
+        type=int,
+        default=4,
+        help="max I-frames grouped into one inference batch (default: 4)",
+    )
+    PipelineSpec.add_cli_options(parser)
+    args = parser.parse_args()
+
+    streams, frames, width, height = PRESETS[args.preset]
+    if args.streams is not None:
+        streams = args.streams
+    if args.frames is not None:
+        frames = args.frames
+    spec = PipelineSpec.from_cli_args(args)
+
+    entry = benchmark_multiplexer(
+        spec,
+        streams=streams,
+        frames=frames,
+        width=width,
+        height=height,
+        seed=args.seed,
+        e_frame_burst=args.e_frame_burst,
+        max_inference_batch=args.max_inference_batch,
+    )
+    entry["date"] = datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+    entry["preset"] = args.preset
+    entry["python"] = platform.python_version()
+    entry["machine"] = platform.machine()
+
+    document = load_trajectory(args.output)
+    document["entries"].append(entry)
+    args.output.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"appended multi-stream entry {len(document['entries'])} to {args.output}")
+
+    print(
+        f"  {streams} streams x {frames} frames ({entry['spec_label']}): "
+        f"mux {entry['mux_aggregate_fps']:.1f} fps aggregate "
+        f"({entry['mux_vs_serial']:.2f}x serial), "
+        f"{entry['inference_batches']} I-batches, "
+        f"mean batch {entry['mean_batch_size']:.2f}"
+    )
+    for stream in entry["per_stream"]:
+        print(
+            f"    {stream['name']}: {stream['frames']} frames, "
+            f"{stream['inference_rate']:.2f} I-rate, "
+            f"{stream['mean_service_latency_ms']:.2f} ms/frame service, "
+            f"{stream['mean_queue_wait_ms']:.1f} ms mean queue wait"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Shared helpers for the example scripts.
+
+The examples-smoke CI job runs every example with
+``EUPHRATES_EXAMPLE_FRAMES`` set to a small number; :func:`bounded_frames`
+caps the per-sequence frame counts accordingly so API regressions surface in
+seconds without the full demo workloads.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def bounded_frames(default: int, minimum: int = 8) -> int:
+    """``default`` frames, capped by the ``EUPHRATES_EXAMPLE_FRAMES`` env var.
+
+    The cap never drops below ``minimum`` so every demo still exercises a
+    few full extrapolation windows.
+    """
+    cap = os.environ.get("EUPHRATES_EXAMPLE_FRAMES")
+    if not cap:
+        return default
+    return max(minimum, min(default, int(cap)))
+
+
+def bounded_sequences(default: int, minimum: int = 2) -> int:
+    """Sequence-count analogue of :func:`bounded_frames` (same env var)."""
+    cap = os.environ.get("EUPHRATES_EXAMPLE_FRAMES")
+    if not cap:
+        return default
+    return max(minimum, min(default, int(cap)))

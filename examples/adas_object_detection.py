@@ -13,7 +13,9 @@ Run with:  python examples/adas_object_detection.py
 
 from __future__ import annotations
 
-from repro import VisionSoC, build_pipeline, detection_backend_for
+from _example_utils import bounded_frames, bounded_sequences
+
+from repro import PipelineSpec, VisionSoC, detection_backend_for
 from repro.eval import average_precision
 from repro.harness.reporting import format_table
 from repro.nn.models import build_tiny_yolo, build_yolo_v2
@@ -22,7 +24,9 @@ from repro.video import build_detection_dataset
 
 def main() -> None:
     # Multi-object street-scene-like clips: ~6 objects per frame.
-    dataset = build_detection_dataset(num_sequences=3, frames_per_sequence=32)
+    dataset = build_detection_dataset(
+        num_sequences=bounded_sequences(3), frames_per_sequence=bounded_frames(32)
+    )
     soc = VisionSoC()
     yolo = build_yolo_v2()
     tiny = build_tiny_yolo()
@@ -37,8 +41,8 @@ def main() -> None:
         ("Tiny YOLO", "tinyyolo", 1),
     ]
     for label, backend_name, window in configurations:
-        pipeline = build_pipeline(
-            detection_backend_for(backend_name, seed=1), extrapolation_window=window
+        pipeline = PipelineSpec(extrapolation_window=window).build(
+            detection_backend_for(backend_name, seed=1)
         )
         results = pipeline.run_dataset(dataset)
         accuracy = average_precision(results, dataset, iou_threshold=0.5)

@@ -12,7 +12,9 @@ Run with:  python examples/drone_tracking_adaptive.py
 
 from __future__ import annotations
 
-from repro import VisionSoC, build_pipeline, tracking_backend_for
+from _example_utils import bounded_frames, bounded_sequences
+
+from repro import PipelineSpec, VisionSoC, tracking_backend_for
 from repro.eval import attribute_precision, success_rate
 from repro.harness.reporting import format_table
 from repro.nn.models import build_mdnet
@@ -21,7 +23,11 @@ from repro.video.attributes import FIGURE12_ATTRIBUTE_ORDER
 
 
 def main() -> None:
-    dataset = build_tracking_dataset(otb_sequences=8, vot_sequences=3, frames_per_sequence=36)
+    dataset = build_tracking_dataset(
+        otb_sequences=bounded_sequences(8),
+        vot_sequences=bounded_sequences(3, minimum=1),
+        frames_per_sequence=bounded_frames(36),
+    )
     soc = VisionSoC()
     mdnet = build_mdnet()
 
@@ -34,7 +40,9 @@ def main() -> None:
         ("EW-4", 4),
         ("EW-A (adaptive)", "adaptive"),
     ):
-        pipeline = build_pipeline(tracking_backend_for("mdnet", seed=1), extrapolation_window=window)
+        pipeline = PipelineSpec(extrapolation_window=window).build(
+            tracking_backend_for("mdnet", seed=1)
+        )
         results = pipeline.run_dataset(dataset)
         runs[label] = results
 

@@ -9,7 +9,9 @@ Run with:  python examples/quickstart.py
 
 from __future__ import annotations
 
-from repro import VisionSoC, build_pipeline, tracking_backend_for
+from _example_utils import bounded_frames, bounded_sequences
+
+from repro import PipelineSpec, VisionSoC, tracking_backend_for
 from repro.eval import success_rate
 from repro.nn.models import build_mdnet
 from repro.video import build_otb_like_dataset
@@ -17,14 +19,16 @@ from repro.video import build_otb_like_dataset
 
 def main() -> None:
     # A small synthetic stand-in for OTB-100 (see DESIGN.md, "Substitutions").
-    dataset = build_otb_like_dataset(num_sequences=6, frames_per_sequence=40)
+    dataset = build_otb_like_dataset(
+        num_sequences=bounded_sequences(6), frames_per_sequence=bounded_frames(40)
+    )
     soc = VisionSoC()
     mdnet = build_mdnet()
 
     print("config     success@0.5   inference rate   energy/frame   saving")
     baseline_energy = None
     for label, window in (("baseline", 1), ("EW-2", 2), ("EW-4", 4), ("adaptive", "adaptive")):
-        pipeline = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=window)
+        pipeline = PipelineSpec(extrapolation_window=window).build(tracking_backend_for("mdnet"))
         results = pipeline.run_dataset(dataset)
 
         accuracy = success_rate(results, dataset, iou_threshold=0.5)

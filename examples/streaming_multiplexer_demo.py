@@ -1,0 +1,101 @@
+"""Four always-on camera streams multiplexed over one Euphrates pipeline.
+
+A home-monitoring hub (or a car with surround cameras) runs continuous
+vision on several cameras at once, but the SoC has one inference engine.
+This demo opens four synthetic camera streams, pushes their frames through
+the :class:`~repro.core.streaming.StreamMultiplexer` — which interleaves
+cheap E-frames round-robin and batches the expensive I-frame inferences —
+and prints per-stream and aggregate scheduling statistics.
+
+Because every stream runs in its own isolated session, the per-stream
+results are bit-identical to processing each camera with its own dedicated
+pipeline; the scheduler only decides *when* each frame is served.
+
+Run with:  PYTHONPATH=src python examples/streaming_multiplexer_demo.py
+"""
+
+from __future__ import annotations
+
+from _example_utils import bounded_frames
+
+from repro import PipelineSpec, StreamMultiplexer, tracking_backend_for
+from repro.harness.reporting import format_table
+from repro.video.attributes import VisualAttribute
+from repro.video.synthetic import SequenceConfig, SequenceGenerator
+
+
+def make_camera_streams(num_frames: int):
+    """Four cameras watching different scenes (one of them a hard one)."""
+    scenes = [
+        ("front_door", frozenset()),
+        ("driveway", frozenset()),
+        ("backyard", frozenset({VisualAttribute.FAST_MOTION})),
+        ("garage", frozenset({VisualAttribute.ILLUMINATION_VARIATION})),
+    ]
+    return [
+        SequenceGenerator(
+            SequenceConfig(
+                name=name,
+                num_frames=num_frames,
+                num_objects=1,
+                seed=17 + index,
+                attributes=attributes,
+            )
+        ).generate()
+        for index, (name, attributes) in enumerate(scenes)
+    ]
+
+
+def main() -> None:
+    streams = make_camera_streams(num_frames=bounded_frames(48))
+    spec = PipelineSpec(extrapolation_window="adaptive")
+    pipeline = spec.build(tracking_backend_for("mdnet", seed=1))
+
+    multiplexer = StreamMultiplexer(pipeline, e_frame_burst=4, max_inference_batch=4)
+    results, report = multiplexer.run_streams(streams)
+
+    rows = []
+    for stats in report.streams:
+        result = results[stats.name]
+        rows.append(
+            [
+                stats.name,
+                stats.frames_processed,
+                round(stats.inference_rate, 2),
+                round(stats.mean_service_latency_s * 1e3, 2),
+                round(stats.mean_queue_wait_s * 1e3, 1),
+                stats.max_queue_depth,
+                result.frames[-1].window_size,
+            ]
+        )
+    print(f"{len(streams)} camera streams through one pipeline ({spec.describe()}):\n")
+    print(
+        format_table(
+            [
+                "stream",
+                "frames",
+                "I-rate",
+                "service ms/frame",
+                "queue wait ms",
+                "max queue",
+                "final EW",
+            ],
+            rows,
+        )
+    )
+    print()
+    print(
+        f"aggregate: {report.frames_processed} frames in {report.wall_s * 1e3:.0f} ms "
+        f"({report.aggregate_fps:.1f} fps), "
+        f"{report.inference_frames} I-frames in {report.inference_batches} batches "
+        f"(mean batch {report.mean_batch_size:.2f})"
+    )
+    print(
+        "Takeaway: the scheduler keeps every stream advancing (compare queue"
+        " waits) while grouping CNN inferences into accelerator-friendly"
+        " batches; each stream's adaptive window settles independently."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -17,14 +17,21 @@ and Whatmough.  The library is organised as:
 
 Quick start::
 
-    from repro import build_pipeline, tracking_backend_for
+    from repro import PipelineSpec, tracking_backend_for
     from repro.video import build_otb_like_dataset
     from repro.eval import success_rate
 
     dataset = build_otb_like_dataset(num_sequences=4)
-    pipeline = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=2)
+    pipeline = PipelineSpec(extrapolation_window=2).build(tracking_backend_for("mdnet"))
     results = pipeline.run_dataset(dataset)
     print(success_rate(results, dataset, iou_threshold=0.5))
+
+Streaming (frame at a time, many concurrent cameras)::
+
+    session = pipeline.open_session(source=sequence)
+    for _, frame in sequence.iter_frames():
+        frame_result = session.submit(frame)
+    sequence_result = session.finish()
 """
 
 from .core import (
@@ -34,12 +41,17 @@ from .core import (
     Detection,
     EuphratesConfig,
     EuphratesPipeline,
+    EuphratesSession,
     ExtrapolationConfig,
     FrameKind,
     FrameResult,
     MotionExtrapolator,
     MotionVector,
+    MultiplexerReport,
+    PipelineSpec,
     SequenceResult,
+    StreamMultiplexer,
+    StreamStats,
     build_pipeline,
     detection_backend_for,
     tracking_backend_for,
@@ -62,6 +74,11 @@ __all__ = [
     "AdaptiveWindowController",
     "EuphratesConfig",
     "EuphratesPipeline",
+    "EuphratesSession",
+    "PipelineSpec",
+    "StreamMultiplexer",
+    "StreamStats",
+    "MultiplexerReport",
     "build_pipeline",
     "detection_backend_for",
     "tracking_backend_for",

@@ -28,6 +28,9 @@ from .backends import (
     tracking_backend_for,
 )
 from .pipeline import EuphratesConfig, EuphratesPipeline, build_pipeline
+from .session import EuphratesSession, SessionClosedError, SessionStats, StreamOracle
+from .spec import PipelineSpec
+from .streaming import MultiplexerReport, StreamMultiplexer, StreamStats
 
 __all__ = [
     "BoundingBox",
@@ -55,5 +58,13 @@ __all__ = [
     "tracking_backend_for",
     "EuphratesConfig",
     "EuphratesPipeline",
+    "EuphratesSession",
+    "SessionClosedError",
+    "SessionStats",
+    "StreamOracle",
+    "PipelineSpec",
+    "StreamMultiplexer",
+    "StreamStats",
+    "MultiplexerReport",
     "build_pipeline",
 ]

@@ -15,14 +15,21 @@ MDNet-class backends).
 
 from __future__ import annotations
 
+import copy
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
-
-import numpy as np
 
 from ..isp.pipeline import ISPConfig, ISPPipeline
 from ..motion.block_matching import BlockMatchingConfig
 from .backends import InferenceBackend
+from .session import (
+    DISAGREEMENT_IOU_FLOOR,
+    EuphratesSession,
+    StreamOracle,
+    measure_disagreement,
+    prune_states,
+)
 
 if TYPE_CHECKING:  # imported lazily to avoid a circular package import
     from ..video.datasets import Dataset
@@ -57,7 +64,8 @@ class EuphratesPipeline:
         self.backend = backend
         self.window_controller = window_controller or ConstantWindowController(2)
         self.config = config or EuphratesConfig()
-        #: Total extrapolation operations across all processed frames.
+        #: Total extrapolation operations across all processed frames (every
+        #: session this pipeline opened contributes at finish).
         self.total_extrapolation_ops = 0.0
         # Reusable per-pipeline engine instances: constructing the ISP and
         # the extrapolator per sequence is pure overhead once a dataset has
@@ -65,6 +73,10 @@ class EuphratesPipeline:
         # at each sequence start.
         self._isp: Optional[ISPPipeline] = None
         self._extrapolator: Optional[MotionExtrapolator] = None
+        # The engine-sharing session currently holding the cached engines
+        # (None when they are free).  Only one such session may be open at a
+        # time; standalone sessions are unrestricted.
+        self._engine_lease: Optional[EuphratesSession] = None
 
     def __getstate__(self):
         # The cached ISP/extrapolator are lazily rebuilt and carry large
@@ -73,6 +85,7 @@ class EuphratesPipeline:
         state = self.__dict__.copy()
         state["_isp"] = None
         state["_extrapolator"] = None
+        state["_engine_lease"] = None
         return state
 
     # ------------------------------------------------------------------
@@ -80,99 +93,159 @@ class EuphratesPipeline:
     # ------------------------------------------------------------------
     def _acquire_isp(self) -> ISPPipeline:
         if self._isp is None:
-            self._isp = ISPPipeline(
-                ISPConfig(
-                    expose_motion_vectors=self.config.expose_motion_vectors,
-                    block_matching=self.config.block_matching,
-                )
-            )
+            self._isp = ISPPipeline(self._isp_config())
         else:
             self._isp.reset()
         return self._isp
 
-    def _acquire_extrapolator(self, sequence: "VideoSequence") -> MotionExtrapolator:
+    def _isp_config(self) -> ISPConfig:
+        return ISPConfig(
+            expose_motion_vectors=self.config.expose_motion_vectors,
+            block_matching=self.config.block_matching,
+        )
+
+    def _acquire_extrapolator(self, width: int, height: int) -> MotionExtrapolator:
         if self._extrapolator is None:
             self._extrapolator = MotionExtrapolator(
-                self.config.extrapolation,
-                frame_width=sequence.width,
-                frame_height=sequence.height,
+                self.config.extrapolation, frame_width=width, frame_height=height
             )
         else:
-            self._extrapolator.configure_frame(sequence.width, sequence.height)
+            self._extrapolator.configure_frame(width, height)
         return self._extrapolator
 
     # ------------------------------------------------------------------
-    # Main loop
+    # Sessions: the incremental frame-at-a-time API
+    # ------------------------------------------------------------------
+    def open_session(
+        self,
+        width: Optional[int] = None,
+        height: Optional[int] = None,
+        *,
+        source: "VideoSequence | None" = None,
+        name: Optional[str] = None,
+        backend: Optional[InferenceBackend] = None,
+        window_controller: Optional[WindowController] = None,
+        share_engines: bool = False,
+    ) -> EuphratesSession:
+        """Open an incremental session; see :class:`EuphratesSession`.
+
+        Sessions come in two flavours:
+
+        * ``source=sequence`` binds the session to an annotated
+          :class:`~repro.video.sequence.VideoSequence` whose ground truth
+          feeds the simulated backends; frames are then submitted one at a
+          time and must match the sequence's frames for the results to mean
+          anything.
+        * ``open_session(width, height)`` opens a dimension-bound live
+          stream: per-frame ground truth is handed to
+          :meth:`EuphratesSession.submit` and collected in a
+          :class:`~repro.core.session.StreamOracle`.
+
+        By default every session gets its *own* ISP, extrapolator, backend
+        copy and window-controller clone, so any number of sessions can run
+        concurrently (this is what :class:`~repro.core.streaming.StreamMultiplexer`
+        builds on).  ``share_engines=True`` instead borrows the pipeline's
+        cached engines, its backend and its controller — the batch
+        :meth:`run` path — and therefore allows only one open session at a
+        time.
+        """
+        if source is not None:
+            width = source.width
+            height = source.height
+            name = name or source.name
+        else:
+            if width is None or height is None:
+                raise ValueError("open_session needs either a source sequence or width and height")
+            name = name or "stream"
+
+        oracle: Optional[StreamOracle] = None
+        backend_source: object = source
+        if source is None:
+            oracle = StreamOracle(name, width, height)
+            backend_source = oracle
+
+        if share_engines:
+            if source is None:
+                raise ValueError("engine-sharing sessions require a source sequence")
+            if backend is not None or window_controller is not None:
+                raise ValueError(
+                    "engine-sharing sessions use the pipeline's backend and controller"
+                )
+            if self._engine_lease is not None and not self._engine_lease.closed:
+                raise RuntimeError(
+                    "the pipeline's cached engines are already leased to session "
+                    f"'{self._engine_lease.name}'; finish() it first or open a "
+                    "standalone session"
+                )
+            isp = self._acquire_isp()
+            extrapolator = self._acquire_extrapolator(width, height)
+            session_backend = self.backend
+            controller = self.window_controller
+        else:
+            isp = ISPPipeline(self._isp_config())
+            extrapolator = MotionExtrapolator(
+                self.config.extrapolation, frame_width=width, frame_height=height
+            )
+            session_backend = backend if backend is not None else copy.deepcopy(self.backend)
+            controller = (
+                window_controller
+                if window_controller is not None
+                else self.window_controller.clone()
+            )
+
+        session = EuphratesSession(
+            name=name,
+            isp=isp,
+            extrapolator=extrapolator,
+            backend=session_backend,
+            window_controller=controller,
+            source=backend_source,
+            oracle=oracle,
+            on_finish=self._session_finished,
+            # Bound here so subclasses that override the feedback metric or
+            # the pruning policy keep affecting session-backed runs.
+            disagreement=self._disagreement,
+            prune=self._prune_states,
+        )
+        if source is not None:
+            # Start the backend *before* taking the engine lease: a failing
+            # start (e.g. a sequence with no first-frame annotation) must
+            # not leave the pipeline holding a lease for a dead session.
+            session_backend.start_sequence(source)
+        if share_engines:
+            self._engine_lease = session
+        return session
+
+    def _session_finished(self, session: EuphratesSession) -> None:
+        self.total_extrapolation_ops += session.stats.extrapolation_ops
+        if self._engine_lease is session:
+            self._engine_lease = None
+
+    # ------------------------------------------------------------------
+    # Main loop — a thin wrapper over the session API
     # ------------------------------------------------------------------
     def run(self, sequence: "VideoSequence") -> SequenceResult:
-        """Process one video sequence and return per-frame results."""
-        isp = self._acquire_isp()
-        extrapolator = self._acquire_extrapolator(sequence)
-        ops_before = extrapolator.total_operations
-        self.backend.start_sequence(sequence)
+        """Process one video sequence and return per-frame results.
 
-        states: Dict[int, RoiMotionState] = {}
-        last_detections: List[Detection] = []
-        frames_since_inference = 0
-        frames: List[FrameResult] = []
-
-        for frame_index, frame in sequence.iter_frames():
-            processed = isp.process_luma(frame.astype(np.float64), frame_index)
-            motion_field = processed.motion_field
-
-            can_extrapolate = motion_field is not None and bool(last_detections)
-            must_infer = (
-                frame_index == 0
-                or not can_extrapolate
-                or self.window_controller.should_infer(frames_since_inference)
-            )
-
-            if must_infer:
-                predicted = None
-                if can_extrapolate:
-                    predicted = extrapolator.extrapolate_detections(
-                        last_detections, motion_field, states
-                    )
-                detections = self.backend.infer(frame_index, processed.luma, sequence)
-                if predicted is not None:
-                    disagreement = self._disagreement(detections, predicted)
-                    self.window_controller.observe_disagreement(disagreement)
-                self._prune_states(states, detections)
-                kind = FrameKind.INFERENCE
-                frames_since_inference = 0
-            else:
-                detections = extrapolator.extrapolate_detections(
-                    last_detections, motion_field, states
-                )
-                kind = FrameKind.EXTRAPOLATION
-                frames_since_inference += 1
-
-            last_detections = detections
-            frames.append(
-                FrameResult(
-                    frame_index=frame_index,
-                    kind=kind,
-                    detections=list(detections),
-                    window_size=self.window_controller.current_window,
-                )
-            )
-
-        self.total_extrapolation_ops += extrapolator.total_operations - ops_before
-        return SequenceResult(sequence_name=sequence.name, frames=frames)
+        Implemented as ``open_session`` + one ``submit`` per frame +
+        ``finish`` — bit-identical to submitting the frames yourself.
+        """
+        session = self.open_session(source=sequence, share_engines=True)
+        try:
+            for _, frame in sequence.iter_frames():
+                session.submit(frame)
+            return session.finish()
+        finally:
+            # A mid-sequence error (backend failure, bad frame, interrupt)
+            # must still release the engine lease, or every future run()
+            # on this pipeline would refuse with "engines already leased".
+            if not session.closed:
+                session.finish()
 
     @staticmethod
     def _prune_states(states: Dict[int, RoiMotionState], detections: Sequence[Detection]) -> None:
-        """Drop filter states made stale by a fresh inference result.
-
-        An I-frame replaces the tracked detection set.  Anonymous states
-        (negative keys are positional) never survive the replacement, and
-        identified states survive only while their object id is still
-        detected; anything else would seed the recursive filter of a new
-        object with another object's motion history.
-        """
-        live_ids = {d.object_id for d in detections if d.object_id is not None}
-        for key in [k for k in states if k < 0 or k not in live_ids]:
-            del states[key]
+        """Compatibility alias for :func:`repro.core.session.prune_states`."""
+        prune_states(states, detections)
 
     def run_dataset(
         self,
@@ -230,57 +303,16 @@ class EuphratesPipeline:
     # Adaptive-mode feedback
     # ------------------------------------------------------------------
     #: Minimum IoU for pairing an inferred box with a predicted one in the
-    #: disagreement metric; non-overlapping boxes are no evidence of a pair.
-    DISAGREEMENT_IOU_FLOOR = 1e-9
+    #: disagreement metric (see :func:`repro.core.session.measure_disagreement`,
+    #: the canonical implementation next to the per-frame loop).
+    DISAGREEMENT_IOU_FLOOR = DISAGREEMENT_IOU_FLOOR
 
     @classmethod
     def _disagreement(
         cls, inferred: Sequence[Detection], predicted: Sequence[Detection]
     ) -> float:
-        """Mean ``1 - IoU`` between inference results and extrapolated ones.
-
-        Pairs are matched by object id when available; the remaining boxes
-        are matched one-to-one, best IoU first, and only while they overlap
-        at all.  When there is nothing to compare the disagreement is 0 (no
-        evidence that extrapolation was wrong).
-        """
-        if not inferred or not predicted:
-            return 0.0
-
-        by_id = {d.object_id: d for d in predicted if d.object_id is not None}
-        disagreements: List[float] = []
-        anonymous_inferred: List[Detection] = []
-        for detection in inferred:
-            if detection.object_id is not None and detection.object_id in by_id:
-                counterpart = by_id[detection.object_id]
-                disagreements.append(1.0 - detection.box.iou(counterpart.box))
-            else:
-                anonymous_inferred.append(detection)
-
-        pool = [d for d in predicted if d.object_id is None]
-        pairs = sorted(
-            (
-                (detection.box.iou(candidate.box), i, j)
-                for i, detection in enumerate(anonymous_inferred)
-                for j, candidate in enumerate(pool)
-            ),
-            key=lambda item: item[0],
-            reverse=True,
-        )
-        used_inferred: set = set()
-        used_predicted: set = set()
-        for iou, i, j in pairs:
-            if iou < cls.DISAGREEMENT_IOU_FLOOR:
-                break
-            if i in used_inferred or j in used_predicted:
-                continue
-            used_inferred.add(i)
-            used_predicted.add(j)
-            disagreements.append(1.0 - iou)
-
-        if not disagreements:
-            return 0.0
-        return float(np.mean(disagreements))
+        """Compatibility alias for :func:`repro.core.session.measure_disagreement`."""
+        return measure_disagreement(inferred, predicted, cls.DISAGREEMENT_IOU_FLOOR)
 
 
 def _run_sequence_job(payload):
@@ -292,7 +324,7 @@ def _run_sequence_job(payload):
 
 
 # ----------------------------------------------------------------------
-# Convenience factories used by examples and benchmarks
+# Deprecated convenience factory (use PipelineSpec instead)
 # ----------------------------------------------------------------------
 def build_pipeline(
     backend: InferenceBackend,
@@ -304,32 +336,31 @@ def build_pipeline(
     sub_roi_grid: tuple = (2, 2),
     expose_motion_vectors: bool = True,
 ) -> EuphratesPipeline:
-    """Assemble a pipeline from the most commonly swept parameters.
+    """Deprecated: assemble a pipeline from loose keyword arguments.
 
-    ``extrapolation_window`` accepts an integer (constant EW-N mode) or the
-    string ``"adaptive"`` (EW-A mode).  ``search_policy`` picks the
-    exhaustive-search candidate-scan policy (``"full"``/``"spiral"``/
-    ``"pruned"`` — all result-identical); it is ignored by three-step
-    search.
+    This is a compatibility shim over :class:`~repro.core.spec.PipelineSpec`
+    — it keeps the pre-spec signature (including positional use, unknown
+    keywords raising :class:`TypeError` and invalid values raising
+    :class:`ValueError`) while building a spec internally.  One deliberate
+    relaxation: numeric window strings (``"3"``) are now accepted, like
+    everywhere a spec is parsed.  Prefer::
+
+        from repro import PipelineSpec
+        pipeline = PipelineSpec(extrapolation_window=2).build(backend)
     """
-    from ..motion.block_matching import SearchPolicy, SearchStrategy
-    from .window import AdaptiveWindowController
+    from .spec import PipelineSpec
 
-    strategy = SearchStrategy.EXHAUSTIVE if exhaustive_search else SearchStrategy.THREE_STEP
-    config = EuphratesConfig(
-        block_matching=BlockMatchingConfig(
-            block_size=block_size,
-            search_range=search_range,
-            strategy=strategy,
-            search_policy=SearchPolicy(search_policy),
-        ),
-        extrapolation=ExtrapolationConfig(sub_roi_grid=sub_roi_grid),
-        expose_motion_vectors=expose_motion_vectors,
+    warnings.warn(
+        "build_pipeline() is deprecated; use PipelineSpec(...).build(backend)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    if isinstance(extrapolation_window, str):
-        if extrapolation_window.lower() not in {"adaptive", "ew-a", "a"}:
-            raise ValueError(f"unknown window mode '{extrapolation_window}'")
-        controller: WindowController = AdaptiveWindowController()
-    else:
-        controller = ConstantWindowController(int(extrapolation_window))
-    return EuphratesPipeline(backend=backend, window_controller=controller, config=config)
+    return PipelineSpec.from_kwargs(
+        extrapolation_window=extrapolation_window,
+        block_size=block_size,
+        search_range=search_range,
+        exhaustive_search=exhaustive_search,
+        search_policy=search_policy,
+        sub_roi_grid=sub_roi_grid,
+        expose_motion_vectors=expose_motion_vectors,
+    ).build(backend)

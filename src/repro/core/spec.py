@@ -1,0 +1,301 @@
+"""One typed, frozen description of a swept pipeline configuration.
+
+Before :class:`PipelineSpec` existed, the tunable knobs of the pipeline
+(``extrapolation_window``, ``block_size``, ``search_range``,
+``exhaustive_search``, ``search_policy``, ``sub_roi_grid``,
+``expose_motion_vectors``) were threaded as loose keyword arguments through
+three independent layers — ``build_pipeline``, the harness
+:class:`~repro.harness.runner.SweepRunner`, and the CLI — each with its own
+defaults and its own ad-hoc cache key.  A spec collapses all of that into a
+single hashable value object:
+
+* :meth:`PipelineSpec.build` constructs the pipeline (what ``build_pipeline``
+  used to do);
+* :meth:`PipelineSpec.cache_key` is the canonical memoization key the sweep
+  harness stores results under;
+* :meth:`PipelineSpec.to_cli_args` / :meth:`PipelineSpec.from_cli_args`
+  round-trip a spec through the command line, so a result's provenance can be
+  reproduced by pasting the printed flags back into the harness.
+
+``build_pipeline(**old_kwargs)`` survives as a deprecation shim that builds a
+spec internally.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, fields, replace
+from typing import TYPE_CHECKING, List, Tuple, Union
+
+from ..motion.block_matching import BlockMatchingConfig, SearchPolicy, SearchStrategy
+from .extrapolation import ExtrapolationConfig
+from .window import (
+    AdaptiveWindowController,
+    ConstantWindowController,
+    WindowController,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .backends import InferenceBackend
+    from .pipeline import EuphratesConfig, EuphratesPipeline
+
+#: Window-mode spellings accepted for the adaptive (EW-A) controller.
+_ADAPTIVE_ALIASES = {"adaptive", "ew-a", "a"}
+
+
+def normalize_window(window: Union[int, str]) -> Union[int, str]:
+    """Normalize a window knob to an ``int`` or the string ``"adaptive"``."""
+    if isinstance(window, str):
+        lowered = window.lower()
+        if lowered in _ADAPTIVE_ALIASES:
+            return "adaptive"
+        try:
+            return int(lowered)
+        except ValueError:
+            raise ValueError(f"unknown window mode '{window}'") from None
+    return int(window)
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """Every knob the benchmarks and the harness sweep, in one frozen object."""
+
+    #: Constant window size (int) or ``"adaptive"`` for the EW-A controller.
+    extrapolation_window: Union[int, str] = 2
+    #: Macroblock size of the ISP's block-matching motion estimation.
+    block_size: int = 16
+    #: Block-matching search range in pixels.
+    search_range: int = 7
+    #: Exhaustive search instead of the three-step search.
+    exhaustive_search: bool = False
+    #: Exhaustive-search candidate-scan policy (``full``/``spiral``/``pruned``).
+    search_policy: str = "pruned"
+    #: Sub-ROI grid for deformation handling; (1, 1) disables it.
+    sub_roi_grid: Tuple[int, int] = (2, 2)
+    #: Euphrates ISP augmentation: expose motion vectors to the backend SoC.
+    expose_motion_vectors: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "extrapolation_window", normalize_window(self.extrapolation_window)
+        )
+        if isinstance(self.extrapolation_window, int) and self.extrapolation_window < 1:
+            raise ValueError("extrapolation_window must be >= 1")
+        if self.block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        if self.search_range < 0:
+            raise ValueError("search_range must be >= 0")
+        object.__setattr__(self, "search_policy", SearchPolicy(self.search_policy).value)
+        grid = tuple(int(v) for v in self.sub_roi_grid)
+        if len(grid) != 2 or grid[0] <= 0 or grid[1] <= 0:
+            raise ValueError("sub_roi_grid must be two positive integers")
+        object.__setattr__(self, "sub_roi_grid", grid)
+
+    # ------------------------------------------------------------------
+    # Alternate constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_kwargs(cls, **kwargs: object) -> "PipelineSpec":
+        """Build a spec from the legacy ``build_pipeline`` keyword arguments.
+
+        Unknown keywords raise :class:`TypeError`, exactly like the old
+        function signature did, so typos keep failing loudly.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(kwargs) - known
+        if unknown:
+            raise TypeError(
+                f"unknown pipeline option(s): {', '.join(sorted(map(str, unknown)))}"
+            )
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    @classmethod
+    def add_cli_options(
+        cls, parser: argparse.ArgumentParser, include_window: bool = True
+    ) -> None:
+        """Register one CLI flag per spec field on ``parser``.
+
+        The flags are the inverse of :meth:`to_cli_args`; parse them back
+        with :meth:`from_cli_args`.  ``include_window=False`` omits the
+        ``--window`` flag for tools (like the experiment harness) that sweep
+        the window themselves.
+        """
+        defaults = cls()
+        if include_window:
+            parser.add_argument(
+                "--window",
+                dest="spec_window",
+                default=str(defaults.extrapolation_window),
+                metavar="N|adaptive",
+                help="extrapolation window: a constant size or 'adaptive' "
+                f"(default: {defaults.extrapolation_window})",
+            )
+        parser.add_argument(
+            "--block-size",
+            dest="spec_block_size",
+            type=int,
+            default=defaults.block_size,
+            help=f"macroblock size for motion estimation (default: {defaults.block_size})",
+        )
+        parser.add_argument(
+            "--search-range",
+            dest="spec_search_range",
+            type=int,
+            default=defaults.search_range,
+            help=f"block-matching search range in pixels (default: {defaults.search_range})",
+        )
+        parser.add_argument(
+            "--exhaustive-search",
+            dest="spec_exhaustive_search",
+            action="store_true",
+            default=defaults.exhaustive_search,
+            help="use exhaustive search instead of three-step search",
+        )
+        parser.add_argument(
+            "--search-policy",
+            dest="spec_search_policy",
+            choices=[policy.value for policy in SearchPolicy],
+            default=defaults.search_policy,
+            help="exhaustive-search candidate-scan policy; all policies are "
+            f"result-identical (default: {defaults.search_policy})",
+        )
+        parser.add_argument(
+            "--sub-roi-grid",
+            dest="spec_sub_roi_grid",
+            default="x".join(str(v) for v in defaults.sub_roi_grid),
+            metavar="RxC",
+            help="sub-ROI grid for deformation handling, e.g. 2x2; 1x1 disables "
+            f"(default: {'x'.join(str(v) for v in defaults.sub_roi_grid)})",
+        )
+        parser.add_argument(
+            "--no-motion-vectors",
+            dest="spec_expose_motion_vectors",
+            action="store_false",
+            default=defaults.expose_motion_vectors,
+            help="model a conventional ISP that discards its motion vectors "
+            "(every frame becomes an I-frame)",
+        )
+
+    @classmethod
+    def from_cli_args(cls, args: argparse.Namespace) -> "PipelineSpec":
+        """Build a spec from a namespace parsed with :meth:`add_cli_options`."""
+        rows, _, cols = str(args.spec_sub_roi_grid).partition("x")
+        try:
+            grid = (int(rows), int(cols))
+        except ValueError:
+            raise ValueError(
+                f"malformed --sub-roi-grid '{args.spec_sub_roi_grid}' (expected RxC)"
+            ) from None
+        return cls(
+            extrapolation_window=getattr(
+                args, "spec_window", cls().extrapolation_window
+            ),
+            block_size=args.spec_block_size,
+            search_range=args.spec_search_range,
+            exhaustive_search=args.spec_exhaustive_search,
+            search_policy=args.spec_search_policy,
+            sub_roi_grid=grid,
+            expose_motion_vectors=args.spec_expose_motion_vectors,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_cli_args(self) -> List[str]:
+        """The CLI flags that reproduce this spec (inverse of CLI parsing).
+
+        Only non-default values are emitted, so the common specs print
+        compactly; ``PipelineSpec.from_cli_args`` on a parser populated by
+        :meth:`add_cli_options` round-trips exactly.
+        """
+        defaults = PipelineSpec()
+        tokens: List[str] = []
+        if self.extrapolation_window != defaults.extrapolation_window:
+            tokens += ["--window", str(self.extrapolation_window)]
+        if self.block_size != defaults.block_size:
+            tokens += ["--block-size", str(self.block_size)]
+        if self.search_range != defaults.search_range:
+            tokens += ["--search-range", str(self.search_range)]
+        if self.exhaustive_search:
+            tokens += ["--exhaustive-search"]
+        if self.search_policy != defaults.search_policy:
+            tokens += ["--search-policy", self.search_policy]
+        if self.sub_roi_grid != defaults.sub_roi_grid:
+            tokens += ["--sub-roi-grid", "x".join(str(v) for v in self.sub_roi_grid)]
+        if not self.expose_motion_vectors:
+            tokens += ["--no-motion-vectors"]
+        return tokens
+
+    def cache_key(self) -> Tuple[object, ...]:
+        """A stable hashable key identifying this configuration.
+
+        The harness stores sweep results under this key; two specs compare
+        equal exactly when their cache keys do.
+        """
+        return (
+            str(self.extrapolation_window),
+            self.block_size,
+            self.search_range,
+            self.exhaustive_search,
+            self.search_policy,
+            self.sub_roi_grid,
+            self.expose_motion_vectors,
+        )
+
+    def describe(self) -> str:
+        """Short human-readable label (``EW-2/b16/r7/tss/pruned``)."""
+        window = (
+            "EW-A"
+            if self.extrapolation_window == "adaptive"
+            else f"EW-{self.extrapolation_window}"
+        )
+        search = "es" if self.exhaustive_search else "tss"
+        label = f"{window}/b{self.block_size}/r{self.search_range}/{search}"
+        if self.exhaustive_search:
+            label += f"/{self.search_policy}"
+        if not self.expose_motion_vectors:
+            label += "/no-mv"
+        return label
+
+    # ------------------------------------------------------------------
+    # Construction of the configured objects
+    # ------------------------------------------------------------------
+    def block_matching_config(self) -> BlockMatchingConfig:
+        strategy = (
+            SearchStrategy.EXHAUSTIVE if self.exhaustive_search else SearchStrategy.THREE_STEP
+        )
+        return BlockMatchingConfig(
+            block_size=self.block_size,
+            search_range=self.search_range,
+            strategy=strategy,
+            search_policy=SearchPolicy(self.search_policy),
+        )
+
+    def euphrates_config(self) -> "EuphratesConfig":
+        from .pipeline import EuphratesConfig
+
+        return EuphratesConfig(
+            block_matching=self.block_matching_config(),
+            extrapolation=ExtrapolationConfig(sub_roi_grid=self.sub_roi_grid),
+            expose_motion_vectors=self.expose_motion_vectors,
+        )
+
+    def window_controller(self) -> WindowController:
+        """A fresh window controller implementing this spec's window mode."""
+        if self.extrapolation_window == "adaptive":
+            return AdaptiveWindowController()
+        return ConstantWindowController(int(self.extrapolation_window))
+
+    def build(self, backend: "InferenceBackend") -> "EuphratesPipeline":
+        """Assemble a ready-to-run pipeline around ``backend``."""
+        from .pipeline import EuphratesPipeline
+
+        return EuphratesPipeline(
+            backend=backend,
+            window_controller=self.window_controller(),
+            config=self.euphrates_config(),
+        )
+
+    def with_window(self, window: Union[int, str]) -> "PipelineSpec":
+        """This spec with a different extrapolation window (sweep helper)."""
+        return replace(self, extrapolation_window=window)

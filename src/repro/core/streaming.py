@@ -1,0 +1,381 @@
+"""Multi-stream scheduling: N concurrent camera sessions over one pipeline.
+
+Always-on vision SoCs serve several cameras at once (Starfish, MobiSys'15
+makes the case for first-class concurrent-stream support).  The
+:class:`StreamMultiplexer` multiplexes any number of
+:class:`~repro.core.session.EuphratesSession` objects over one
+:class:`~repro.core.pipeline.EuphratesPipeline` template:
+
+* each stream has its own frame queue (frames are pushed as they "arrive"),
+  its own backend copy and its own window-controller clone, so streams never
+  contaminate each other's algorithm state;
+* a fair-share scheduler drains the queues: cheap E-frames (motion
+  extrapolation only) are interleaved round-robin so no stream starves,
+  while expensive I-frames (full CNN inference) are gathered across streams
+  and dispatched in batches — the access pattern a real accelerator wants,
+  since weights stay resident across a batch;
+* per-stream and aggregate throughput/latency statistics are tracked as
+  scheduling happens, feeding ``benchmarks/run_stream_bench.py``.
+
+Because sessions are fully isolated, the per-stream results are bit-identical
+to running each sequence through its own pipeline — scheduling order affects
+latency, never output (property-tested in ``tests/test_streaming.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .session import EuphratesSession
+from .types import Detection, FrameKind, SequenceResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..video.sequence import VideoSequence
+    from .backends import InferenceBackend
+    from .pipeline import EuphratesPipeline
+    from .window import WindowController
+
+
+@dataclass
+class StreamStats:
+    """Throughput/latency accounting for one stream."""
+
+    name: str
+    frames_submitted: int = 0
+    frames_processed: int = 0
+    inference_frames: int = 0
+    extrapolation_frames: int = 0
+    #: Seconds spent inside ``session.submit`` for this stream.
+    busy_s: float = 0.0
+    #: Seconds frames spent queued before the scheduler picked them.
+    wait_s: float = 0.0
+    max_queue_depth: int = 0
+
+    @property
+    def pending(self) -> int:
+        return self.frames_submitted - self.frames_processed
+
+    @property
+    def inference_rate(self) -> float:
+        if not self.frames_processed:
+            return 0.0
+        return self.inference_frames / self.frames_processed
+
+    @property
+    def mean_service_latency_s(self) -> float:
+        """Mean per-frame processing time (excluding queueing delay)."""
+        if not self.frames_processed:
+            return 0.0
+        return self.busy_s / self.frames_processed
+
+    @property
+    def mean_queue_wait_s(self) -> float:
+        if not self.frames_processed:
+            return 0.0
+        return self.wait_s / self.frames_processed
+
+
+@dataclass
+class MultiplexerReport:
+    """Aggregate statistics of one multiplexer drain."""
+
+    streams: List[StreamStats]
+    wall_s: float
+    frames_processed: int
+    inference_frames: int
+    extrapolation_frames: int
+    inference_batches: int
+    #: Sizes of every I-frame batch the scheduler dispatched.
+    batch_sizes: List[int] = field(default_factory=list)
+
+    @property
+    def aggregate_fps(self) -> float:
+        return self.frames_processed / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batch_sizes:
+            return 0.0
+        return sum(self.batch_sizes) / len(self.batch_sizes)
+
+
+class _Stream:
+    """Internal per-stream record: session + queue + stats."""
+
+    def __init__(self, stream_id: str, session: EuphratesSession) -> None:
+        self.stream_id = stream_id
+        self.session = session
+        #: Queue of (frame, truth, force_inference, enqueue_time).
+        self.queue: Deque[Tuple[np.ndarray, Optional[Sequence[Detection]], bool, float]] = deque()
+        self.stats = StreamStats(name=stream_id)
+        self.result: Optional[SequenceResult] = None
+
+    @property
+    def drained(self) -> bool:
+        return not self.queue
+
+    def head_kind(self) -> Optional[FrameKind]:
+        """Predicted frame kind of the next queued frame (None when empty)."""
+        if not self.queue:
+            return None
+        _, _, force, _ = self.queue[0]
+        if force:
+            return FrameKind.INFERENCE
+        return self.session.next_frame_kind()
+
+
+class StreamMultiplexer:
+    """Fair-share scheduler for N concurrent Euphrates camera streams.
+
+    ``e_frame_burst`` bounds how many consecutive E-frames one stream may
+    process per scheduling round (fairness knob: a stream with a deep queue
+    of cheap frames cannot starve the others).  ``max_inference_batch``
+    bounds how many I-frames the scheduler groups into one inference batch.
+    """
+
+    def __init__(
+        self,
+        pipeline: "EuphratesPipeline",
+        *,
+        e_frame_burst: int = 4,
+        max_inference_batch: int = 4,
+    ) -> None:
+        if e_frame_burst < 1:
+            raise ValueError("e_frame_burst must be >= 1")
+        if max_inference_batch < 1:
+            raise ValueError("max_inference_batch must be >= 1")
+        self.pipeline = pipeline
+        self.e_frame_burst = e_frame_burst
+        self.max_inference_batch = max_inference_batch
+        self._streams: Dict[str, _Stream] = {}
+        self._order: List[str] = []
+        self._rr_offset = 0
+        self._batch_sizes: List[int] = []
+        self._wall_s = 0.0
+
+    # ------------------------------------------------------------------
+    # Stream management
+    # ------------------------------------------------------------------
+    def add_stream(
+        self,
+        source: "VideoSequence | None" = None,
+        *,
+        name: Optional[str] = None,
+        width: Optional[int] = None,
+        height: Optional[int] = None,
+        backend: "InferenceBackend | None" = None,
+        window_controller: "WindowController | None" = None,
+    ) -> str:
+        """Register a stream and return its id (the session name).
+
+        Pass ``source`` for a sequence-bound stream (ground truth comes from
+        the sequence) or ``width``/``height`` for a live stream whose truth
+        arrives per frame via :meth:`submit`.
+        """
+        if name is None:
+            base = source.name if source is not None else "stream"
+            name = base
+            suffix = 1
+            while name in self._streams:
+                name = f"{base}#{suffix}"
+                suffix += 1
+        if name in self._streams:
+            raise ValueError(f"stream '{name}' already exists")
+        session = self.pipeline.open_session(
+            width,
+            height,
+            source=source,
+            name=name,
+            backend=backend,
+            window_controller=window_controller,
+        )
+        self._streams[name] = _Stream(name, session)
+        self._order.append(name)
+        return name
+
+    @property
+    def stream_ids(self) -> List[str]:
+        return list(self._order)
+
+    def stats_for(self, stream_id: str) -> StreamStats:
+        return self._stream(stream_id).stats
+
+    def _stream(self, stream_id: str) -> _Stream:
+        try:
+            return self._streams[stream_id]
+        except KeyError:
+            raise KeyError(f"unknown stream '{stream_id}'") from None
+
+    # ------------------------------------------------------------------
+    # Frame ingress
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        stream_id: str,
+        frame: np.ndarray,
+        *,
+        truth: Optional[Sequence[Detection]] = None,
+        force_inference: bool = False,
+    ) -> None:
+        """Enqueue one captured frame for ``stream_id`` (non-blocking).
+
+        The frame is copied: live capture loops typically reuse one buffer
+        per capture, which would otherwise silently rewrite every frame
+        still sitting in the queue.
+        """
+        stream = self._stream(stream_id)
+        stream.queue.append(
+            (np.array(frame, copy=True), truth, force_inference, time.perf_counter())
+        )
+        stream.stats.frames_submitted += 1
+        stream.stats.max_queue_depth = max(stream.stats.max_queue_depth, len(stream.queue))
+
+    def feed_sequence(self, stream_id: str, sequence: "VideoSequence") -> None:
+        """Enqueue every frame of ``sequence`` on ``stream_id``."""
+        for _, frame in sequence.iter_frames():
+            self.submit(stream_id, frame)
+
+    @property
+    def pending_frames(self) -> int:
+        return sum(len(stream.queue) for stream in self._streams.values())
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _process_head(self, stream: _Stream) -> FrameKind:
+        frame, truth, force, enqueued_at = stream.queue.popleft()
+        start = time.perf_counter()
+        try:
+            result = stream.session.submit(frame, truth=truth, force_inference=force)
+        except BaseException:
+            # Put the frame back so the stream stays aligned with its queue
+            # and the caller can retry (the session rolls itself back for
+            # pre-ISP failures, e.g. missing first-frame truth).
+            stream.queue.appendleft((frame, truth, force, enqueued_at))
+            raise
+        elapsed = time.perf_counter() - start
+        stats = stream.stats
+        stats.busy_s += elapsed
+        stats.wait_s += max(0.0, start - enqueued_at)
+        # Frame/I/E counts mirror the session's own accounting (the single
+        # source of truth) instead of being tracked twice.
+        session_stats = stream.session.stats
+        stats.frames_processed = session_stats.frames
+        stats.inference_frames = session_stats.inference_frames
+        stats.extrapolation_frames = session_stats.extrapolation_frames
+        return result.kind
+
+    def _round_robin(self) -> List[_Stream]:
+        """Streams in this round's fair-share order (rotating start)."""
+        active = [self._streams[name] for name in self._order]
+        if not active:
+            return []
+        offset = self._rr_offset % len(active)
+        self._rr_offset += 1
+        return active[offset:] + active[:offset]
+
+    def pump(self) -> int:
+        """Run one scheduling round; return the number of frames processed.
+
+        A round has two phases:
+
+        1. **E-phase** — round-robin over the streams, letting each process
+           up to ``e_frame_burst`` queued frames as long as the session
+           predicts they are cheap E-frames.
+        2. **I-phase** — gather the streams whose next frame needs full
+           inference and dispatch up to ``max_inference_batch`` of them
+           back-to-back as one batch (weights stay resident across the
+           batch on a real accelerator).
+
+        Mis-predictions are benign: the authoritative I/E decision is made
+        inside ``session.submit`` exactly as in the batch pipeline.
+        """
+        round_start = time.perf_counter()
+        processed = 0
+        # One rotation per round (shared by both phases), so the lead
+        # position really cycles over every stream.
+        order = self._round_robin()
+
+        for stream in order:
+            burst = 0
+            while (
+                burst < self.e_frame_burst
+                and stream.queue
+                and stream.head_kind() is FrameKind.EXTRAPOLATION
+            ):
+                self._process_head(stream)
+                processed += 1
+                burst += 1
+
+        batch = [
+            stream
+            for stream in order
+            if stream.queue and stream.head_kind() is FrameKind.INFERENCE
+        ][: self.max_inference_batch]
+        if batch:
+            self._batch_sizes.append(len(batch))
+            for stream in batch:
+                self._process_head(stream)
+                processed += 1
+
+        # Wall time accumulates per round, so callers driving the scheduler
+        # through pump() directly (an always-on loop that can never drain)
+        # still get meaningful aggregate throughput from report().
+        self._wall_s += time.perf_counter() - round_start
+        return processed
+
+    def drain(self) -> int:
+        """Pump until every queue is empty; return total frames processed."""
+        total = 0
+        while self.pending_frames:
+            processed = self.pump()
+            if processed == 0:
+                # Cannot happen with the two-phase pump (every head frame is
+                # either E or I), but guard against a livelocked scheduler.
+                raise RuntimeError("scheduler made no progress with frames pending")
+            total += processed
+        return total
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def finish(self) -> Dict[str, SequenceResult]:
+        """Drain every queue, close every session, return per-stream results."""
+        self.drain()
+        results: Dict[str, SequenceResult] = {}
+        for name in self._order:
+            stream = self._streams[name]
+            if stream.result is None:
+                stream.result = stream.session.finish()
+            results[name] = stream.result
+        return results
+
+    def report(self) -> MultiplexerReport:
+        """Aggregate scheduling statistics accumulated so far."""
+        stats = [self._streams[name].stats for name in self._order]
+        return MultiplexerReport(
+            streams=stats,
+            wall_s=self._wall_s,
+            frames_processed=sum(s.frames_processed for s in stats),
+            inference_frames=sum(s.inference_frames for s in stats),
+            extrapolation_frames=sum(s.extrapolation_frames for s in stats),
+            inference_batches=len(self._batch_sizes),
+            batch_sizes=list(self._batch_sizes),
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience: whole sequences in, results out
+    # ------------------------------------------------------------------
+    def run_streams(
+        self, sequences: Sequence["VideoSequence"]
+    ) -> Tuple[Dict[str, SequenceResult], MultiplexerReport]:
+        """Feed one stream per sequence, drain, and return (results, report)."""
+        for sequence in sequences:
+            stream_id = self.add_stream(sequence)
+            self.feed_sequence(stream_id, sequence)
+        return self.finish(), self.report()

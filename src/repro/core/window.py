@@ -44,6 +44,16 @@ class WindowController(ABC):
     def current_window(self) -> int:
         """The extrapolation window currently in effect."""
 
+    @abstractmethod
+    def clone(self) -> "WindowController":
+        """A fresh controller with this one's configuration but no history.
+
+        Streaming sessions give every camera stream its own controller so
+        one stream's disagreement feedback cannot perturb another stream's
+        window; cloning keeps the configuration while dropping the runtime
+        state.
+        """
+
     @property
     def name(self) -> str:
         return type(self).__name__
@@ -69,6 +79,9 @@ class ConstantWindowController(WindowController):
     @property
     def current_window(self) -> int:
         return self.window
+
+    def clone(self) -> "ConstantWindowController":
+        return ConstantWindowController(self.window)
 
     @property
     def name(self) -> str:
@@ -106,6 +119,7 @@ class AdaptiveWindowController(WindowController):
         self.max_window = max_window
         self.disagreement_threshold = disagreement_threshold
         self.patience = patience
+        self.initial_window = initial_window
         self._window = initial_window
         self._good_streak = 0
         #: History of (window, disagreement) pairs, useful for analysis.
@@ -128,6 +142,15 @@ class AdaptiveWindowController(WindowController):
     @property
     def current_window(self) -> int:
         return self._window
+
+    def clone(self) -> "AdaptiveWindowController":
+        return AdaptiveWindowController(
+            initial_window=self.initial_window,
+            min_window=self.min_window,
+            max_window=self.max_window,
+            disagreement_threshold=self.disagreement_threshold,
+            patience=self.patience,
+        )
 
     @property
     def name(self) -> str:

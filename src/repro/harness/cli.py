@@ -27,6 +27,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from ..core.spec import PipelineSpec
 from .reporting import format_artifact, write_artifact_json
 from .runner import (
     DatasetSpec,
@@ -65,14 +66,10 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="near-minimal 2-sequence datasets (CI smoke profile) instead of the full benchmark sizes",
     )
-    parser.add_argument(
-        "--search-policy",
-        choices=("full", "spiral", "pruned"),
-        default="pruned",
-        help="exhaustive-search candidate-scan policy for ES sweeps (Fig. 11b); "
-        "all policies are result-identical, they differ only in work skipped "
-        "(default: pruned)",
-    )
+    # The base pipeline configuration (block size, search range/policy, ...)
+    # is one shared PipelineSpec; experiments override only the dimensions
+    # they sweep (which is why there is no --window flag here).
+    PipelineSpec.add_cli_options(parser, include_window=False)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -101,7 +98,7 @@ def _make_context(args: argparse.Namespace) -> ExperimentContext:
         runner=SweepRunner(max_workers=workers),
         datasets=datasets,
         seed=args.seed,
-        search_policy=args.search_policy,
+        base_spec=PipelineSpec.from_cli_args(args),
     )
 
 

@@ -15,10 +15,12 @@ of this module expose each figure/table to ``python -m repro.harness``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from ..core.spec import PipelineSpec
 
 from ..eval.attributes import attribute_precision
 from ..eval.detection import precision_curve
@@ -198,14 +200,16 @@ def figure9a_detection_precision(
     ew_values: Sequence[int] = DEFAULT_EW_SWEEP,
     seed: int = 1,
     runner: Optional[SweepRunner] = None,
+    spec: Optional[PipelineSpec] = None,
 ) -> PrecisionCurveResult:
     """Fig. 9a: detection AP vs IoU threshold for YOLOv2, EW-N, Tiny YOLO."""
     dataset = dataset or build_detection_dataset()
     runner = runner or SweepRunner()
+    spec = spec or PipelineSpec()
     result = PrecisionCurveResult(title="Fig. 9a: average precision vs IoU threshold")
 
     def run(label: str, backend_name: str, window: Union[int, str]) -> None:
-        run_result = runner.run("detection", backend_name, dataset, window, seed=seed)
+        run_result = runner.run("detection", backend_name, dataset, window, spec=spec, seed=seed)
         result.curves[label] = precision_curve(run_result.sequences, dataset)
         result.inference_rates[label] = run_result.inference_rate
 
@@ -286,14 +290,16 @@ def figure10a_tracking_success(
     include_adaptive: bool = True,
     seed: int = 1,
     runner: Optional[SweepRunner] = None,
+    spec: Optional[PipelineSpec] = None,
 ) -> PrecisionCurveResult:
     """Fig. 10a: tracking success rate vs IoU threshold (MDNet, EW-N, EW-A)."""
     dataset = dataset or build_tracking_dataset()
     runner = runner or SweepRunner()
+    spec = spec or PipelineSpec()
     result = PrecisionCurveResult(title="Fig. 10a: success rate vs IoU threshold")
 
     def run(label: str, window: Union[int, str]) -> None:
-        run_result = runner.run("tracking", "mdnet", dataset, window, seed=seed)
+        run_result = runner.run("tracking", "mdnet", dataset, window, spec=spec, seed=seed)
         result.curves[label] = success_curve(run_result.sequences, dataset)
         result.inference_rates[label] = run_result.inference_rate
 
@@ -345,14 +351,16 @@ def figure10c_per_sequence_success(
     iou_threshold: float = 0.5,
     seed: int = 1,
     runner: Optional[SweepRunner] = None,
+    spec: Optional[PipelineSpec] = None,
 ) -> ScalarSweepResult:
     """Fig. 10c: per-sequence success rate for EW-2, EW-4 and EW-A."""
     dataset = dataset or build_tracking_dataset()
     runner = runner or SweepRunner()
+    spec = spec or PipelineSpec()
     result = ScalarSweepResult(title="Fig. 10c: per-sequence success rate")
     for window in configurations:
         label = "EW-A" if isinstance(window, str) else f"EW-{window}"
-        run_result = runner.run("tracking", "mdnet", dataset, window, seed=seed)
+        run_result = runner.run("tracking", "mdnet", dataset, window, spec=spec, seed=seed)
         per_sequence = per_sequence_success(run_result.sequences, dataset, iou_threshold)
         result.values[label] = dict(sorted(per_sequence.items()))
     return result
@@ -368,16 +376,23 @@ def figure11a_macroblock_sensitivity(
     iou_threshold: float = 0.5,
     seed: int = 1,
     runner: Optional[SweepRunner] = None,
+    spec: Optional[PipelineSpec] = None,
 ) -> ScalarSweepResult:
     """Fig. 11a: tracking success rate vs macroblock size for several EWs."""
     dataset = dataset or build_tracking_dataset(otb_sequences=8, vot_sequences=0)
     runner = runner or SweepRunner()
+    spec = spec or PipelineSpec()
     result = ScalarSweepResult(title="Fig. 11a: success rate vs macroblock size")
     for window in ew_values:
         series: Dict[object, float] = {}
         for block_size in block_sizes:
             run_result = runner.run(
-                "tracking", "mdnet", dataset, window, block_size=block_size, seed=seed
+                "tracking",
+                "mdnet",
+                dataset,
+                window,
+                spec=replace(spec, block_size=block_size),
+                seed=seed,
             )
             series[block_size] = success_rate(run_result.sequences, dataset, iou_threshold)
         result.values[f"EW-{window}"] = series
@@ -390,7 +405,8 @@ def figure11b_es_vs_tss(
     thresholds: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
     seed: int = 1,
     runner: Optional[SweepRunner] = None,
-    search_policy: str = "pruned",
+    search_policy: Optional[str] = None,
+    spec: Optional[PipelineSpec] = None,
 ) -> Dict[str, List[Tuple[float, float, float]]]:
     """Fig. 11b: success rate with exhaustive search vs three-step search.
 
@@ -401,6 +417,9 @@ def figure11b_es_vs_tss(
     """
     dataset = dataset or build_tracking_dataset(otb_sequences=8, vot_sequences=0)
     runner = runner or SweepRunner()
+    spec = spec or PipelineSpec()
+    if search_policy is not None:
+        spec = replace(spec, search_policy=search_policy)
     scatter: Dict[str, List[Tuple[float, float, float]]] = {}
     for window in ew_values:
         es_run = runner.run(
@@ -408,12 +427,16 @@ def figure11b_es_vs_tss(
             "mdnet",
             dataset,
             window,
-            exhaustive_search=True,
-            search_policy=search_policy,
+            spec=replace(spec, exhaustive_search=True),
             seed=seed,
         )
         tss_run = runner.run(
-            "tracking", "mdnet", dataset, window, exhaustive_search=False, seed=seed
+            "tracking",
+            "mdnet",
+            dataset,
+            window,
+            spec=replace(spec, exhaustive_search=False),
+            seed=seed,
         )
         es_curve = success_curve(es_run.sequences, dataset, thresholds)
         tss_curve = success_curve(tss_run.sequences, dataset, thresholds)
@@ -481,16 +504,20 @@ def figure12_attribute_sensitivity(
     iou_threshold: float = 0.5,
     seed: int = 1,
     runner: Optional[SweepRunner] = None,
+    spec: Optional[PipelineSpec] = None,
 ) -> Dict[str, Dict[VisualAttribute, float]]:
     """Fig. 12: per-attribute accuracy, baseline MDNet vs Euphrates EW-2."""
     dataset = dataset or build_tracking_dataset()
     runner = runner or SweepRunner()
+    spec = spec or PipelineSpec()
     output: Dict[str, Dict[VisualAttribute, float]] = {}
 
-    baseline_run = runner.run("tracking", "mdnet", dataset, 1, seed=seed)
+    baseline_run = runner.run("tracking", "mdnet", dataset, 1, spec=spec, seed=seed)
     output["MDNet"] = attribute_precision(baseline_run.sequences, dataset, iou_threshold)
 
-    euphrates_run = runner.run("tracking", "mdnet", dataset, extrapolation_window, seed=seed)
+    euphrates_run = runner.run(
+        "tracking", "mdnet", dataset, extrapolation_window, spec=spec, seed=seed
+    )
     output[f"EW-{extrapolation_window}"] = attribute_precision(
         euphrates_run.sequences, dataset, iou_threshold
     )
@@ -543,7 +570,10 @@ def _table2(context: ExperimentContext) -> ExperimentArtifact:
 @register("fig9a", "Fig. 9a: detection average precision vs IoU threshold", kind="figure")
 def _fig9a(context: ExperimentContext) -> ExperimentArtifact:
     result = figure9a_detection_precision(
-        dataset=context.detection_dataset, seed=context.seed, runner=context.runner
+        dataset=context.detection_dataset,
+        seed=context.seed,
+        runner=context.runner,
+        spec=context.base_spec,
     )
     artifact = ExperimentArtifact(name="fig9a", title=result.title, kind="figure")
     artifact.add_table(result.headers(), result.rows())
@@ -578,7 +608,10 @@ def _fig9c(context: ExperimentContext) -> ExperimentArtifact:
 @register("fig10a", "Fig. 10a: tracking success rate vs IoU threshold", kind="figure")
 def _fig10a(context: ExperimentContext) -> ExperimentArtifact:
     result = figure10a_tracking_success(
-        dataset=context.tracking_dataset, seed=context.seed, runner=context.runner
+        dataset=context.tracking_dataset,
+        seed=context.seed,
+        runner=context.runner,
+        spec=context.base_spec,
     )
     artifact = ExperimentArtifact(name="fig10a", title=result.title, kind="figure")
     artifact.add_table(result.headers(), result.rows())
@@ -606,7 +639,10 @@ def _fig10b(context: ExperimentContext) -> ExperimentArtifact:
 @register("fig10c", "Fig. 10c: per-sequence tracking success rate", kind="figure")
 def _fig10c(context: ExperimentContext) -> ExperimentArtifact:
     result = figure10c_per_sequence_success(
-        dataset=context.tracking_dataset, seed=context.seed, runner=context.runner
+        dataset=context.tracking_dataset,
+        seed=context.seed,
+        runner=context.runner,
+        spec=context.base_spec,
     )
     artifact = ExperimentArtifact(name="fig10c", title=result.title, kind="figure")
     artifact.add_table(result.headers(), result.rows())
@@ -618,7 +654,10 @@ def _fig10c(context: ExperimentContext) -> ExperimentArtifact:
 @register("fig11a", "Fig. 11a: success rate vs macroblock size", kind="figure")
 def _fig11a(context: ExperimentContext) -> ExperimentArtifact:
     result = figure11a_macroblock_sensitivity(
-        dataset=context.small_tracking_dataset, seed=context.seed, runner=context.runner
+        dataset=context.small_tracking_dataset,
+        seed=context.seed,
+        runner=context.runner,
+        spec=context.base_spec,
     )
     artifact = ExperimentArtifact(name="fig11a", title=result.title, kind="figure")
     artifact.add_table(result.headers(), result.rows())
@@ -633,7 +672,7 @@ def _fig11b(context: ExperimentContext) -> ExperimentArtifact:
         dataset=context.small_tracking_dataset,
         seed=context.seed,
         runner=context.runner,
-        search_policy=context.search_policy,
+        spec=context.base_spec,
     )
     artifact = ExperimentArtifact(
         name="fig11b", title="Fig. 11b: exhaustive search vs three-step search", kind="figure"
@@ -663,7 +702,10 @@ def _fig11b(context: ExperimentContext) -> ExperimentArtifact:
 @register("fig12", "Fig. 12: accuracy sensitivity to visual attributes", kind="figure")
 def _fig12(context: ExperimentContext) -> ExperimentArtifact:
     breakdown = figure12_attribute_sensitivity(
-        dataset=context.tracking_dataset, seed=context.seed, runner=context.runner
+        dataset=context.tracking_dataset,
+        seed=context.seed,
+        runner=context.runner,
+        spec=context.base_spec,
     )
     baseline = breakdown["MDNet"]
     euphrates = breakdown["EW-2"]

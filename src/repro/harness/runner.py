@@ -25,11 +25,11 @@ into a real experiment subsystem:
 from __future__ import annotations
 
 import difflib
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.backends import detection_backend_for, tracking_backend_for
-from ..core.pipeline import build_pipeline
+from ..core.spec import PipelineSpec
 from ..core.types import DatasetRunResult
 from ..video.datasets import Dataset, build_detection_dataset, build_tracking_dataset
 
@@ -75,27 +75,9 @@ class ExperimentArtifact:
 # ----------------------------------------------------------------------
 # Sweep runner with per-configuration caching
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class SweepPoint:
-    """Cache key identifying one pipeline configuration over one dataset."""
-
-    dataset_key: str
-    task: str  # "detection" or "tracking"
-    backend: str  # "yolov2", "tinyyolo", "mdnet", "ncc"
-    window: str  # "1", "2", ... or "adaptive"
-    block_size: int = 16
-    search_range: int = 7
-    exhaustive_search: bool = False
-    search_policy: str = "pruned"  # "full", "spiral" or "pruned"
-    seed: int = 1
-
-
-def _normalize_window(window: Union[int, str]) -> str:
-    if isinstance(window, str):
-        if window.lower() not in {"adaptive", "ew-a", "a"}:
-            raise ValueError(f"unknown window mode '{window}'")
-        return "adaptive"
-    return str(int(window))
+#: Cache key identifying one pipeline configuration over one dataset:
+#: (dataset_key, task, backend, seed) + PipelineSpec.cache_key().
+SweepPoint = Tuple[object, ...]
 
 
 class SweepRunner:
@@ -103,10 +85,10 @@ class SweepRunner:
 
     One runner instance is shared across a whole CLI invocation (or the whole
     benchmark session): any two experiments that ask for the same
-    (dataset, backend, window, block-matching, seed) configuration share a
-    single pipeline execution.  Pipelines are constructed fresh per cache
-    miss, so a cached result is identical to what an isolated run would have
-    produced.
+    (dataset, backend, :class:`~repro.core.spec.PipelineSpec`, seed)
+    configuration share a single pipeline execution.  Pipelines are
+    constructed fresh per cache miss, so a cached result is identical to
+    what an isolated run would have produced.
     """
 
     def __init__(self, max_workers: Optional[int] = None) -> None:
@@ -129,32 +111,49 @@ class SweepRunner:
         task: str,
         backend: str,
         dataset: Dataset,
-        window: Union[int, str],
+        window: Union[int, str, None] = None,
         *,
-        block_size: int = 16,
-        search_range: int = 7,
-        exhaustive_search: bool = False,
-        search_policy: str = "pruned",
+        spec: Optional[PipelineSpec] = None,
+        block_size: Optional[int] = None,
+        search_range: Optional[int] = None,
+        exhaustive_search: Optional[bool] = None,
+        search_policy: Optional[str] = None,
         seed: int = 1,
     ) -> DatasetRunResult:
         """Run (or reuse) one pipeline configuration over ``dataset``.
 
-        ``search_policy`` selects the exhaustive-search candidate-scan
-        policy; it participates in the cache key so policy-comparison
-        experiments measure genuinely separate runs, even though every
-        policy returns bit-identical motion fields.
+        The configuration is a :class:`~repro.core.spec.PipelineSpec`:
+        pass one via ``spec``, build one implicitly from the loose keywords,
+        or combine both — any explicitly-passed keyword (``window``,
+        ``block_size``, ...) overrides the corresponding ``spec`` field, so
+        a sweep can thread one base spec through and vary a single
+        dimension per call.  The spec's
+        :meth:`~repro.core.spec.PipelineSpec.cache_key` is the memoization
+        key, so e.g. ``search_policy`` participates in it and
+        policy-comparison experiments measure genuinely separate runs even
+        though every policy returns bit-identical motion fields.
         """
-        point = SweepPoint(
-            dataset_key=self.dataset_key(dataset),
-            task=task,
-            backend=backend,
-            window=_normalize_window(window),
-            block_size=block_size,
-            search_range=search_range,
-            exhaustive_search=exhaustive_search,
-            search_policy=search_policy,
-            seed=seed,
-        )
+        base = spec if spec is not None else PipelineSpec()
+        overrides: Dict[str, object] = {}
+        if window is not None:
+            overrides["extrapolation_window"] = window
+        elif spec is None:
+            raise ValueError("run() needs a window (or a full PipelineSpec)")
+        if block_size is not None:
+            overrides["block_size"] = block_size
+        if search_range is not None:
+            overrides["search_range"] = search_range
+        if exhaustive_search is not None:
+            overrides["exhaustive_search"] = exhaustive_search
+        if search_policy is not None:
+            overrides["search_policy"] = search_policy
+        spec = replace(base, **overrides) if overrides else base
+        point: SweepPoint = (
+            self.dataset_key(dataset),
+            task,
+            backend,
+            seed,
+        ) + spec.cache_key()
         cached = self._cache.get(point)
         if cached is not None:
             self.cache_hits += 1
@@ -166,14 +165,7 @@ class SweepRunner:
             inference_backend = tracking_backend_for(backend, seed=seed)
         else:
             raise ValueError(f"unknown task '{task}' (expected 'detection' or 'tracking')")
-        pipeline = build_pipeline(
-            inference_backend,
-            extrapolation_window="adaptive" if point.window == "adaptive" else int(point.window),
-            block_size=block_size,
-            search_range=search_range,
-            exhaustive_search=exhaustive_search,
-            search_policy=search_policy,
-        )
+        pipeline = spec.build(inference_backend)
         result = pipeline.run_dataset_result(dataset, max_workers=self.max_workers)
         self._cache[point] = result
         return result
@@ -285,16 +277,27 @@ class ExperimentContext:
         runner: Optional[SweepRunner] = None,
         datasets: Optional[DatasetSpec] = None,
         seed: int = 1,
-        search_policy: str = "pruned",
+        search_policy: Optional[str] = None,
+        base_spec: Optional[PipelineSpec] = None,
     ) -> None:
         self.runner = runner or SweepRunner()
         self.datasets = datasets or DatasetSpec()
         self.seed = seed
-        #: Exhaustive-search candidate-scan policy used by the experiments
-        #: that sweep ES configurations (Fig. 11b).
-        self.search_policy = search_policy
+        #: The base pipeline configuration experiments start their sweeps
+        #: from (the CLI builds it from the spec flags); each experiment
+        #: overrides only the dimensions it sweeps.
+        if base_spec is None:
+            base_spec = PipelineSpec()
+        if search_policy is not None:
+            base_spec = replace(base_spec, search_policy=search_policy)
+        self.base_spec = base_spec
         self._dataset_cache: Dict[str, Dataset] = {}
         self._artifacts: Dict[str, ExperimentArtifact] = {}
+
+    @property
+    def search_policy(self) -> str:
+        """ES candidate-scan policy of :attr:`base_spec` (Fig. 11b sweeps)."""
+        return self.base_spec.search_policy
 
     # -- datasets (built lazily, shared between experiments) -----------
     @property

@@ -85,13 +85,28 @@ class TemporalDenoiseStage:
             return self.config.matching_format.quantize(frame)
         return frame
 
+    def _current_matching_reference(self, raw: np.ndarray, current: np.ndarray) -> np.ndarray:
+        """Matching-domain view of the frame being denoised.
+
+        A raw uint8 capture already *is* its 8-bit matching representation
+        (``clip(rint(float64(x))) == x`` exactly), so it rides the fast
+        integer SAD path without the rint/clip/astype round-trip the float
+        view would pay.
+        """
+        if self.config.quantize_matching and raw.dtype == np.uint8:
+            return raw
+        return self._matching_reference(current)
+
     def process(self, luma: np.ndarray, **context) -> Tuple[np.ndarray, Optional[MotionField]]:
         """Denoise ``luma`` and return ``(denoised, motion_field)``.
 
         The first frame of a stream has no reference, so it passes through
-        unchanged with no motion field.
+        unchanged with no motion field.  Integer (uint8) frames are widened
+        to float64 here, exactly once, for the blend; block matching sees
+        the unconverted integer pixels.
         """
-        current = np.asarray(luma, dtype=np.float64)
+        raw = np.asarray(luma)
+        current = np.asarray(raw, dtype=np.float64)
         if self._previous_denoised is None or self._previous_denoised.shape != current.shape:
             self._previous_denoised = current.copy()
             # Reference the private copy, never the caller's buffer (which
@@ -102,7 +117,7 @@ class TemporalDenoiseStage:
             return current, None
 
         field = self._matcher.estimate(
-            self._matching_reference(current), self._previous_reference
+            self._current_matching_reference(raw, current), self._previous_reference
         )
         self.last_motion_field = field
         self.last_motion_ops = self._matcher.last_operation_count

@@ -177,15 +177,19 @@ class ISPPipeline:
         luma plane is nearly identity for synthetic scenes) while keeping the
         temporal-denoise stage and all the traffic/compute accounting, which
         is what the SoC-level results depend on.
+
+        uint8 frames are passed through *unconverted*: the temporal-denoise
+        stage widens to float64 exactly once for the blend while matching the
+        raw integer frame on the exact integer SAD path, so the per-frame
+        ``astype(float64)`` copy the pipeline's hot loop used to pay is gone.
         """
-        luma = np.asarray(luma, dtype=np.float64)
+        luma = np.asarray(luma)
         pixel_count = float(luma.size)
         total_ops = sum(s.ops_per_pixel for s in self.bayer_stages + self.rgb_stages)
         total_ops = total_ops * pixel_count + 2.0 * pixel_count
 
         motion_field: Optional[MotionField] = None
         motion_ops = 0.0
-        denoised = luma
         if self.config.temporal_denoise:
             denoised, motion_field = self.denoise_stage.process(luma)
             motion_ops = float(self.denoise_stage.last_motion_ops)
@@ -196,6 +200,10 @@ class ISPPipeline:
                 # blend output already lies on the lattice, so this is an
                 # exact no-op there.
                 denoised = self.config.frame_format.quantize(denoised)
+        else:
+            # Without the denoise stage nothing downstream widens the frame,
+            # so keep the legacy float64 contract for the committed pixels.
+            denoised = np.asarray(luma, dtype=np.float64)
 
         exposed_field = motion_field if self.config.expose_motion_vectors else None
         entry = FrameBufferEntry(

@@ -129,6 +129,22 @@ class TestSweepRunnerCache:
         )
         assert result.extrapolation_ops > 0
 
+    def test_explicit_kwargs_override_a_passed_spec(self, tiny_dataset):
+        from repro.core.spec import PipelineSpec
+
+        runner = SweepRunner()
+        base = PipelineSpec(extrapolation_window=2)
+        tss = runner.run("tracking", "mdnet", tiny_dataset, spec=base, seed=1)
+        es = runner.run(
+            "tracking", "mdnet", tiny_dataset, spec=base, exhaustive_search=True, seed=1
+        )
+        # The override must produce (and cache) a genuinely different point.
+        assert es is not tss
+        assert runner.cache_misses == 2
+        assert runner.run(
+            "tracking", "mdnet", tiny_dataset, 2, exhaustive_search=True, seed=1
+        ) is es
+
     def test_unknown_task_and_window_rejected(self, tiny_dataset):
         runner = SweepRunner()
         with pytest.raises(ValueError, match="unknown task"):

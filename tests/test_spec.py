@@ -1,0 +1,211 @@
+"""Tests for the unified PipelineSpec and the build_pipeline shim."""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import FrozenInstanceError
+
+import pytest
+
+from repro.core.backends import tracking_backend_for
+from repro.core.pipeline import build_pipeline
+from repro.core.spec import PipelineSpec, normalize_window
+from repro.core.window import AdaptiveWindowController, ConstantWindowController
+from repro.motion.block_matching import SearchPolicy, SearchStrategy
+
+
+class TestNormalization:
+    def test_adaptive_aliases(self):
+        for alias in ("adaptive", "EW-A", "a", "Adaptive"):
+            assert normalize_window(alias) == "adaptive"
+
+    def test_numeric_strings_become_ints(self):
+        assert normalize_window("4") == 4
+        assert PipelineSpec(extrapolation_window="4").extrapolation_window == 4
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="window mode"):
+            PipelineSpec(extrapolation_window="sometimes")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipelineSpec(extrapolation_window=0)
+        with pytest.raises(ValueError):
+            PipelineSpec(block_size=0)
+        with pytest.raises(ValueError):
+            PipelineSpec(search_range=-1)
+        with pytest.raises(ValueError):
+            PipelineSpec(search_policy="greedy")
+        with pytest.raises(ValueError):
+            PipelineSpec(sub_roi_grid=(0, 2))
+
+    def test_sub_roi_grid_coerced_to_tuple(self):
+        spec = PipelineSpec(sub_roi_grid=[3, 1])
+        assert spec.sub_roi_grid == (3, 1)
+
+    def test_frozen(self):
+        with pytest.raises(FrozenInstanceError):
+            PipelineSpec().block_size = 8  # type: ignore[misc]
+
+
+class TestFromKwargs:
+    def test_accepts_exactly_the_legacy_names(self):
+        spec = PipelineSpec.from_kwargs(
+            extrapolation_window="adaptive",
+            block_size=8,
+            search_range=3,
+            exhaustive_search=True,
+            search_policy="spiral",
+            sub_roi_grid=(1, 1),
+            expose_motion_vectors=False,
+        )
+        assert spec.extrapolation_window == "adaptive"
+        assert spec.block_size == 8
+        assert spec.search_policy == "spiral"
+        assert not spec.expose_motion_vectors
+
+    def test_unknown_kwarg_is_a_type_error(self):
+        with pytest.raises(TypeError, match="blok_size"):
+            PipelineSpec.from_kwargs(blok_size=8)
+
+
+class TestCliRoundTrip:
+    def _parser(self) -> argparse.ArgumentParser:
+        parser = argparse.ArgumentParser()
+        PipelineSpec.add_cli_options(parser)
+        return parser
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            PipelineSpec(),
+            PipelineSpec(extrapolation_window="adaptive"),
+            PipelineSpec(extrapolation_window=8, block_size=32, search_range=15),
+            PipelineSpec(exhaustive_search=True, search_policy="full"),
+            PipelineSpec(sub_roi_grid=(1, 1), expose_motion_vectors=False),
+        ],
+    )
+    def test_to_cli_args_round_trips(self, spec):
+        args = self._parser().parse_args(spec.to_cli_args())
+        assert PipelineSpec.from_cli_args(args) == spec
+
+    def test_default_spec_emits_no_flags(self):
+        assert PipelineSpec().to_cli_args() == []
+
+    def test_without_window_flag(self):
+        parser = argparse.ArgumentParser()
+        PipelineSpec.add_cli_options(parser, include_window=False)
+        args = parser.parse_args(["--block-size", "8"])
+        spec = PipelineSpec.from_cli_args(args)
+        assert spec.block_size == 8
+        assert spec.extrapolation_window == PipelineSpec().extrapolation_window
+
+    def test_malformed_grid_rejected(self):
+        args = self._parser().parse_args(["--sub-roi-grid", "2by2"])
+        with pytest.raises(ValueError, match="sub-roi-grid"):
+            PipelineSpec.from_cli_args(args)
+
+
+class TestCacheKey:
+    def test_equal_specs_share_a_key(self):
+        assert PipelineSpec(extrapolation_window="a").cache_key() == PipelineSpec(
+            extrapolation_window="adaptive"
+        ).cache_key()
+
+    def test_every_field_participates(self):
+        base = PipelineSpec()
+        variants = [
+            PipelineSpec(extrapolation_window=4),
+            PipelineSpec(block_size=8),
+            PipelineSpec(search_range=3),
+            PipelineSpec(exhaustive_search=True),
+            PipelineSpec(search_policy="full"),
+            PipelineSpec(sub_roi_grid=(1, 1)),
+            PipelineSpec(expose_motion_vectors=False),
+        ]
+        keys = {spec.cache_key() for spec in variants}
+        assert len(keys) == len(variants)
+        assert base.cache_key() not in keys
+
+    def test_key_is_hashable(self):
+        {PipelineSpec().cache_key(): 1}
+
+
+class TestBuild:
+    def test_build_propagates_every_knob(self):
+        spec = PipelineSpec(
+            extrapolation_window=3,
+            block_size=32,
+            search_range=5,
+            exhaustive_search=True,
+            search_policy="spiral",
+            sub_roi_grid=(1, 2),
+            expose_motion_vectors=False,
+        )
+        pipeline = spec.build(tracking_backend_for("mdnet"))
+        config = pipeline.config
+        assert config.block_matching.block_size == 32
+        assert config.block_matching.search_range == 5
+        assert config.block_matching.strategy is SearchStrategy.EXHAUSTIVE
+        assert config.block_matching.search_policy is SearchPolicy.SPIRAL
+        assert config.extrapolation.sub_roi_grid == (1, 2)
+        assert not config.expose_motion_vectors
+        assert isinstance(pipeline.window_controller, ConstantWindowController)
+        assert pipeline.window_controller.current_window == 3
+
+    def test_adaptive_controller(self):
+        pipeline = PipelineSpec(extrapolation_window="adaptive").build(
+            tracking_backend_for("mdnet")
+        )
+        assert isinstance(pipeline.window_controller, AdaptiveWindowController)
+
+    def test_describe(self):
+        assert PipelineSpec().describe() == "EW-2/b16/r7/tss"
+        assert (
+            PipelineSpec(
+                extrapolation_window="adaptive", exhaustive_search=True
+            ).describe()
+            == "EW-A/b16/r7/es/pruned"
+        )
+
+    def test_with_window(self):
+        spec = PipelineSpec(block_size=8)
+        swept = spec.with_window("adaptive")
+        assert swept.extrapolation_window == "adaptive"
+        assert swept.block_size == 8
+        assert spec.extrapolation_window == 2  # original untouched
+
+
+class TestBuildPipelineShim:
+    def test_emits_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning, match="PipelineSpec"):
+            build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=2)
+
+    def test_builds_the_same_pipeline_as_the_spec(self):
+        with pytest.warns(DeprecationWarning):
+            shimmed = build_pipeline(
+                tracking_backend_for("mdnet"),
+                extrapolation_window=4,
+                block_size=8,
+                exhaustive_search=True,
+            )
+        direct = PipelineSpec(
+            extrapolation_window=4, block_size=8, exhaustive_search=True
+        ).build(tracking_backend_for("mdnet"))
+        assert shimmed.config == direct.config
+        assert type(shimmed.window_controller) is type(direct.window_controller)
+        assert shimmed.window_controller.current_window == 4
+
+    def test_positional_window_still_accepted(self):
+        with pytest.warns(DeprecationWarning):
+            pipeline = build_pipeline(tracking_backend_for("mdnet"), 4)
+        assert pipeline.window_controller.current_window == 4
+
+    def test_legacy_errors_preserved(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="window mode"):
+                build_pipeline(
+                    tracking_backend_for("mdnet"), extrapolation_window="sometimes"
+                )
+        with pytest.raises(TypeError):
+            build_pipeline(tracking_backend_for("mdnet"), bock_size=8)

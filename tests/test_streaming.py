@@ -1,0 +1,185 @@
+"""Tests for the multi-stream scheduler (StreamMultiplexer)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.backends import tracking_backend_for
+from repro.core.spec import PipelineSpec
+from repro.core.streaming import StreamMultiplexer
+from repro.core.types import FrameKind
+
+from test_session import assert_results_identical
+
+
+@pytest.fixture
+def pipeline():
+    return PipelineSpec(extrapolation_window=4).build(tracking_backend_for("mdnet"))
+
+
+class TestSchedulingEquivalence:
+    def test_interleaving_never_changes_per_stream_results(
+        self, pipeline, tiny_tracking_dataset
+    ):
+        """Scheduling order affects latency, never output."""
+        sequences = tiny_tracking_dataset.sequences
+        mux = StreamMultiplexer(pipeline)
+        results, _ = mux.run_streams(sequences)
+        assert set(results) == {sequence.name for sequence in sequences}
+        for sequence in sequences:
+            isolated = PipelineSpec(extrapolation_window=4).build(
+                tracking_backend_for("mdnet")
+            ).run(sequence)
+            assert_results_identical(isolated, results[sequence.name])
+
+    def test_adaptive_streams_stay_isolated(self, tiny_tracking_dataset):
+        """One stream's disagreement feedback must not move another's window."""
+        spec = PipelineSpec(extrapolation_window="adaptive")
+        pipeline = spec.build(tracking_backend_for("mdnet"))
+        mux = StreamMultiplexer(pipeline)
+        results, _ = mux.run_streams(tiny_tracking_dataset.sequences)
+        for sequence in tiny_tracking_dataset.sequences:
+            isolated = spec.build(tracking_backend_for("mdnet")).run(sequence)
+            assert_results_identical(isolated, results[sequence.name])
+
+    def test_incremental_submission(self, pipeline, tiny_tracking_dataset):
+        """Frames can arrive round-robin (as live cameras would deliver them)."""
+        sequences = tiny_tracking_dataset.sequences[:2]
+        mux = StreamMultiplexer(pipeline)
+        ids = [mux.add_stream(sequence) for sequence in sequences]
+        num_frames = max(sequence.num_frames for sequence in sequences)
+        for index in range(num_frames):
+            for stream_id, sequence in zip(ids, sequences):
+                if index < sequence.num_frames:
+                    mux.submit(stream_id, sequence.frame(index))
+            mux.pump()
+        results = mux.finish()
+        for stream_id, sequence in zip(ids, sequences):
+            isolated = PipelineSpec(extrapolation_window=4).build(
+                tracking_backend_for("mdnet")
+            ).run(sequence)
+            assert_results_identical(isolated, results[stream_id])
+
+
+class TestScheduler:
+    def test_iframes_are_batched(self, pipeline, tiny_tracking_dataset):
+        mux = StreamMultiplexer(pipeline, max_inference_batch=4)
+        _, report = mux.run_streams(tiny_tracking_dataset.sequences)
+        assert report.inference_batches > 0
+        # All four streams start in phase (frame 0 is always an I-frame), so
+        # the scheduler gets at least one full-width batch.
+        assert max(report.batch_sizes) == min(4, len(tiny_tracking_dataset))
+        assert sum(report.batch_sizes) == report.inference_frames
+
+    def test_batch_cap_respected(self, pipeline, tiny_tracking_dataset):
+        mux = StreamMultiplexer(pipeline, max_inference_batch=2)
+        _, report = mux.run_streams(tiny_tracking_dataset.sequences)
+        assert max(report.batch_sizes) <= 2
+
+    def test_e_burst_bounds_per_round_work(self, tiny_tracking_dataset):
+        """With burst=1, one pump round cannot drain a deep E-queue."""
+        spec = PipelineSpec(extrapolation_window=8)
+        pipeline = spec.build(tracking_backend_for("mdnet"))
+        mux = StreamMultiplexer(pipeline, e_frame_burst=1, max_inference_batch=1)
+        sequence = tiny_tracking_dataset.sequences[0]
+        stream_id = mux.add_stream(sequence)
+        mux.feed_sequence(stream_id, sequence)
+        processed = mux.pump()
+        # One I-frame (frame 0) or one E-frame per round, never more.
+        assert processed == 1
+        assert mux.pending_frames == sequence.num_frames - 1
+
+    def test_fairness_across_streams(self, pipeline, tiny_tracking_dataset):
+        """Every stream makes progress long before any queue drains fully."""
+        sequences = tiny_tracking_dataset.sequences
+        mux = StreamMultiplexer(pipeline, e_frame_burst=2)
+        ids = []
+        for sequence in sequences:
+            stream_id = mux.add_stream(sequence)
+            mux.feed_sequence(stream_id, sequence)
+            ids.append(stream_id)
+        mux.pump()
+        mux.pump()
+        progressed = [mux.stats_for(stream_id).frames_processed for stream_id in ids]
+        assert all(count > 0 for count in progressed)
+        mux.finish()
+
+    def test_failed_frame_is_requeued_for_retry(self, pipeline, tiny_tracking_dataset):
+        """A submit failure must not silently drop the frame from the queue."""
+        sequence = tiny_tracking_dataset.sequences[0]
+        mux = StreamMultiplexer(pipeline)
+        # Dimension-bound tracking stream: the first frame needs truth.
+        stream_id = mux.add_stream(
+            width=sequence.width, height=sequence.height, name="live"
+        )
+        mux.submit(stream_id, sequence.frame(0))  # no truth: will fail
+        with pytest.raises(ValueError, match="no annotated objects"):
+            mux.pump()
+        assert mux.pending_frames == 1  # frame is back at the head
+        # Replace the bad head with a good one and the stream recovers.
+        mux._streams[stream_id].queue.clear()
+        mux.submit(stream_id, sequence.frame(0), truth=sequence.truth_detections(0))
+        mux.pump()
+        assert mux.stats_for(stream_id).frames_processed == 1
+        mux.finish()
+
+    def test_validation(self, pipeline):
+        with pytest.raises(ValueError):
+            StreamMultiplexer(pipeline, e_frame_burst=0)
+        with pytest.raises(ValueError):
+            StreamMultiplexer(pipeline, max_inference_batch=0)
+        mux = StreamMultiplexer(pipeline)
+        with pytest.raises(KeyError, match="unknown stream"):
+            mux.submit("nope", None)
+
+
+class TestStats:
+    def test_per_stream_stats_account_every_frame(self, pipeline, tiny_tracking_dataset):
+        mux = StreamMultiplexer(pipeline)
+        _, report = mux.run_streams(tiny_tracking_dataset.sequences)
+        for stats in report.streams:
+            assert stats.frames_submitted == stats.frames_processed
+            assert stats.pending == 0
+            assert (
+                stats.inference_frames + stats.extrapolation_frames
+                == stats.frames_processed
+            )
+            assert stats.max_queue_depth > 0
+            assert stats.busy_s > 0.0
+            assert stats.mean_service_latency_s > 0.0
+            # EW-4 processes 1 I-frame per 4 frames.
+            assert stats.inference_rate == pytest.approx(0.25, abs=0.1)
+
+    def test_pump_driven_report_has_wall_time(self, pipeline, tiny_tracking_dataset):
+        """Always-on loops drive pump() directly and never drain()."""
+        mux = StreamMultiplexer(pipeline)
+        sequence = tiny_tracking_dataset.sequences[0]
+        stream_id = mux.add_stream(sequence)
+        for index in range(8):
+            mux.submit(stream_id, sequence.frame(index))
+            mux.pump()
+        report = mux.report()
+        assert report.frames_processed == 8
+        assert report.wall_s > 0.0
+        assert report.aggregate_fps > 0.0
+        mux.finish()
+
+    def test_aggregate_report(self, pipeline, tiny_tracking_dataset):
+        mux = StreamMultiplexer(pipeline)
+        _, report = mux.run_streams(tiny_tracking_dataset.sequences)
+        total = sum(len(sequence) for sequence in tiny_tracking_dataset.sequences)
+        assert report.frames_processed == total
+        assert report.inference_frames + report.extrapolation_frames == total
+        assert report.wall_s > 0.0
+        assert report.aggregate_fps > 0.0
+        assert report.mean_batch_size >= 1.0
+
+    def test_duplicate_stream_names_get_suffixes(self, pipeline, tiny_tracking_dataset):
+        mux = StreamMultiplexer(pipeline)
+        sequence = tiny_tracking_dataset.sequences[0]
+        first = mux.add_stream(sequence)
+        second = mux.add_stream(sequence)
+        assert first == sequence.name
+        assert second == f"{sequence.name}#1"
+        with pytest.raises(ValueError, match="already exists"):
+            mux.add_stream(sequence, name=first)
