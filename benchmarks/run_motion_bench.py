@@ -39,6 +39,13 @@ from repro.harness.perf import RESOLUTIONS, benchmark_motion_estimation
 DEFAULT_FLOORS = {
     "min_tss_speedup_720p": 8.0,
     "min_es_pruned_speedup_vs_full_720p": 2.0,
+    # Ceiling on the modeled per-stream energy of the multi-stream bench
+    # (run_stream_bench.py --guard).  The modeled energy is deterministic
+    # for a given spec/workload, so a breach means a real regression in the
+    # scheduler (I-frame batching stopped amortising weight traffic — the
+    # ci preset prices 13.99 mJ/frame batched vs 14.24 unbatched) or in the
+    # SoC cost model itself — not measurement noise.
+    "max_stream_energy_per_frame_mj": 14.1,
 }
 
 #: Presets: name -> (resolutions, frames, include_scalar).

@@ -40,7 +40,8 @@ from pathlib import Path
 
 from repro.core.backends import tracking_backend_for
 from repro.core.spec import PipelineSpec
-from repro.core.streaming import StreamMultiplexer
+from repro.core.streaming import SCHEDULING_POLICIES, StreamMultiplexer
+from repro.nn.models import build_mdnet
 from repro.video.synthetic import SequenceConfig, SequenceGenerator
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
@@ -80,6 +81,7 @@ def benchmark_multiplexer(
     seed: int,
     e_frame_burst: int,
     max_inference_batch: int,
+    policy: str = "fair",
 ) -> dict:
     sequences = make_streams(streams, frames, width, height, seed)
     backend = tracking_backend_for("mdnet", seed=seed)
@@ -111,11 +113,17 @@ def benchmark_multiplexer(
     serial_s = time.perf_counter() - serial_start
     total_frames = sum(sequence.num_frames for sequence in sequences)
 
-    # Multiplexed: all streams concurrently through one scheduler.
+    # Multiplexed: all streams concurrently through one scheduler, with the
+    # spec's SoC model attached so every frame is priced as it is processed
+    # (batched I-frames amortise NNX weight traffic across streams).
     multiplexer = StreamMultiplexer(
         spec.build(backend),
         e_frame_burst=e_frame_burst,
         max_inference_batch=max_inference_batch,
+        policy=policy,
+        soc=spec.vision_soc(),
+        network=build_mdnet(),
+        extrapolation_on_cpu=spec.extrapolation_on_cpu,
     )
     for sequence in sequences:
         stream_id = multiplexer.add_stream(sequence)
@@ -128,6 +136,7 @@ def benchmark_multiplexer(
         "benchmark": "multi_stream",
         "spec": spec.to_cli_args(),
         "spec_label": spec.describe(),
+        "policy": policy,
         "streams": streams,
         "frames_per_stream": frames,
         "frame_width": width,
@@ -144,6 +153,10 @@ def benchmark_multiplexer(
         "serial_wall_s": serial_s,
         "serial_aggregate_fps": total_frames / serial_s if serial_s > 0 else 0.0,
         "mux_vs_serial": (serial_s / report.wall_s) if report.wall_s > 0 else 0.0,
+        # Modeled SoC energy (deterministic for a given spec + workload):
+        # per-stream energy-per-frame plus the multi-camera aggregate.
+        "aggregate_energy_per_frame_mj": report.aggregate_energy_per_frame_j * 1e3,
+        "aggregate_power_w": report.aggregate_power_w,
         "per_stream": [
             {
                 "name": stats.name,
@@ -152,10 +165,38 @@ def benchmark_multiplexer(
                 "mean_service_latency_ms": stats.mean_service_latency_s * 1e3,
                 "mean_queue_wait_ms": stats.mean_queue_wait_s * 1e3,
                 "max_queue_depth": stats.max_queue_depth,
+                "energy_per_frame_mj": (
+                    report.stream_energy[stats.name].energy_per_frame_j * 1e3
+                ),
+                "soc_power_w": (
+                    report.stream_energy[stats.name].total_energy_j
+                    / report.stream_energy[stats.name].wall_time_s
+                ),
             }
             for stats in report.streams
         ],
     }
+
+
+def check_energy_floors(entry: dict, floors: dict) -> list:
+    """Violations of the stored multi-stream energy ceiling (if any)."""
+    ceiling = floors.get("max_stream_energy_per_frame_mj")
+    if ceiling is None:
+        return []
+    violations = []
+    for stream in entry["per_stream"]:
+        value = stream.get("energy_per_frame_mj")
+        if value is None:
+            violations.append(
+                f"max_stream_energy_per_frame_mj: stream '{stream['name']}' "
+                "recorded no energy (energy model not attached?)"
+            )
+        elif value > ceiling:
+            violations.append(
+                f"max_stream_energy_per_frame_mj: stream '{stream['name']}' "
+                f"measured {value:.2f} mJ/frame > ceiling {ceiling:.2f}"
+            )
+    return violations
 
 
 def main() -> int:
@@ -189,6 +230,19 @@ def main() -> int:
         default=4,
         help="max I-frames grouped into one inference batch (default: 4)",
     )
+    parser.add_argument(
+        "--policy",
+        choices=list(SCHEDULING_POLICIES),
+        default="fair",
+        help="scheduling policy (default: fair)",
+    )
+    parser.add_argument(
+        "--guard",
+        action="store_true",
+        help="exit non-zero when the per-stream modeled energy breaches the "
+        "max_stream_energy_per_frame_mj ceiling stored in the trajectory "
+        "file (the CI perf-guard job runs this)",
+    )
     PipelineSpec.add_cli_options(parser)
     args = parser.parse_args()
 
@@ -208,6 +262,7 @@ def main() -> int:
         seed=args.seed,
         e_frame_burst=args.e_frame_burst,
         max_inference_batch=args.max_inference_batch,
+        policy=args.policy,
     )
     entry["date"] = datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
     entry["preset"] = args.preset
@@ -231,8 +286,22 @@ def main() -> int:
             f"    {stream['name']}: {stream['frames']} frames, "
             f"{stream['inference_rate']:.2f} I-rate, "
             f"{stream['mean_service_latency_ms']:.2f} ms/frame service, "
-            f"{stream['mean_queue_wait_ms']:.1f} ms mean queue wait"
+            f"{stream['mean_queue_wait_ms']:.1f} ms mean queue wait, "
+            f"{stream['energy_per_frame_mj']:.2f} mJ/frame modeled"
         )
+    print(
+        f"  aggregate: {entry['aggregate_energy_per_frame_mj']:.2f} mJ/frame, "
+        f"{entry['aggregate_power_w']:.2f} W modeled SoC power"
+    )
+
+    if args.guard:
+        violations = check_energy_floors(entry, document.get("floors", {}))
+        if violations:
+            for violation in violations:
+                print(f"ENERGY FLOOR VIOLATION: {violation}", file=sys.stderr)
+            return 1
+        ceiling = document.get("floors", {}).get("max_stream_energy_per_frame_mj")
+        print(f"energy floors OK: max_stream_energy_per_frame_mj={ceiling}")
     return 0
 
 

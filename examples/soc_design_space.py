@@ -11,7 +11,6 @@ Run with:  python examples/soc_design_space.py
 
 from __future__ import annotations
 
-from dataclasses import replace
 
 from repro.harness.reporting import format_table
 from repro.nn.models import build_yolo_v2

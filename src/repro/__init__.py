@@ -45,6 +45,7 @@ from .core import (
     ExtrapolationConfig,
     FrameKind,
     FrameResult,
+    FrameTelemetry,
     MotionExtrapolator,
     MotionVector,
     MultiplexerReport,
@@ -56,7 +57,7 @@ from .core import (
     detection_backend_for,
     tracking_backend_for,
 )
-from .soc import FrameSchedule, SoCConfig, VisionSoC
+from .soc import CostMeter, FrameCost, FrameSchedule, SoCConfig, VisionSoC
 
 __version__ = "1.0.0"
 
@@ -67,6 +68,7 @@ __all__ = [
     "Detection",
     "FrameKind",
     "FrameResult",
+    "FrameTelemetry",
     "SequenceResult",
     "ExtrapolationConfig",
     "MotionExtrapolator",
@@ -85,4 +87,6 @@ __all__ = [
     "VisionSoC",
     "SoCConfig",
     "FrameSchedule",
+    "FrameCost",
+    "CostMeter",
 ]

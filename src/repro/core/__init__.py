@@ -7,7 +7,14 @@ library.
 """
 
 from .geometry import BoundingBox, MotionVector, Point, ZERO_MOTION, mean_iou
-from .types import DatasetRunResult, Detection, FrameKind, FrameResult, SequenceResult
+from .types import (
+    DatasetRunResult,
+    Detection,
+    FrameKind,
+    FrameResult,
+    FrameTelemetry,
+    SequenceResult,
+)
 from .extrapolation import (
     ExtrapolationConfig,
     ExtrapolationResult,
@@ -30,7 +37,12 @@ from .backends import (
 from .pipeline import EuphratesConfig, EuphratesPipeline, build_pipeline
 from .session import EuphratesSession, SessionClosedError, SessionStats, StreamOracle
 from .spec import PipelineSpec
-from .streaming import MultiplexerReport, StreamMultiplexer, StreamStats
+from .streaming import (
+    SCHEDULING_POLICIES,
+    MultiplexerReport,
+    StreamMultiplexer,
+    StreamStats,
+)
 
 __all__ = [
     "BoundingBox",
@@ -42,6 +54,7 @@ __all__ = [
     "Detection",
     "FrameKind",
     "FrameResult",
+    "FrameTelemetry",
     "SequenceResult",
     "ExtrapolationConfig",
     "ExtrapolationResult",
@@ -66,5 +79,6 @@ __all__ = [
     "StreamMultiplexer",
     "StreamStats",
     "MultiplexerReport",
+    "SCHEDULING_POLICIES",
     "build_pipeline",
 ]

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import copy
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
 
 from ..isp.pipeline import ISPConfig, ISPPipeline
@@ -35,8 +35,7 @@ if TYPE_CHECKING:  # imported lazily to avoid a circular package import
     from ..video.datasets import Dataset
     from ..video.sequence import VideoSequence
 from .extrapolation import ExtrapolationConfig, MotionExtrapolator, RoiMotionState
-from .geometry import BoundingBox
-from .types import DatasetRunResult, Detection, FrameKind, FrameResult, SequenceResult
+from .types import DatasetRunResult, Detection, SequenceResult
 from .window import ConstantWindowController, WindowController
 
 

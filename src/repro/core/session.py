@@ -42,7 +42,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from .extrapolation import MotionExtrapolator, RoiMotionState
-from .types import Detection, FrameKind, FrameResult, SequenceResult
+from .types import Detection, FrameKind, FrameResult, FrameTelemetry, SequenceResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..isp.pipeline import ISPPipeline
@@ -309,6 +309,9 @@ class EuphratesSession:
         self._last_detections: List[Detection] = []
         self._frames_since_inference = 0
         self._frames: List[FrameResult] = []
+        # Observe-only hardware telemetry, one event per submitted frame.
+        # Consumed by SoC cost meters; recording it never changes outputs.
+        self._telemetry: List[FrameTelemetry] = []
         self._next_index = 0
         self._closed = False
         # Sequence-bound sessions start their backend at open (the pipeline
@@ -407,6 +410,7 @@ class EuphratesSession:
         self, frame_index: int, frame: np.ndarray, force_inference: bool
     ) -> FrameResult:
         """The per-frame algorithm body (split out for submit's rollback)."""
+        ops_before = self._extrapolator.total_operations
         if not self._backend_started:
             # Dimension-bound sessions defer backend start until the first
             # frame so the oracle already holds that frame's annotations
@@ -455,6 +459,19 @@ class EuphratesSession:
             window_size=self._controller.current_window,
         )
         self._frames.append(result)
+        self._telemetry.append(
+            FrameTelemetry(
+                frame_index=frame_index,
+                kind=kind,
+                pixels=int(frame.size),
+                rois=len(detections),
+                motion_ops=float(processed.motion_ops),
+                extrapolation_ops=float(
+                    self._extrapolator.total_operations - ops_before
+                ),
+                stream=self.name,
+            )
+        )
         self._next_index += 1
         self.stats.frames += 1
         self.stats.extrapolation_ops = (
@@ -468,14 +485,32 @@ class EuphratesSession:
         Always-on streams never :meth:`finish`, so without draining the
         result list would grow for the lifetime of the camera; a live
         consumer calls this periodically and the session's memory stays
-        bounded (``stats`` keeps counting across drains).  Results drained
-        here are no longer part of the :class:`SequenceResult` that a later
+        bounded (``stats`` keeps counting across drains).  The telemetry
+        buffer grows alongside and is drained separately — pair this with
+        :meth:`take_telemetry` in always-on loops.  Results drained here
+        are no longer part of the :class:`SequenceResult` that a later
         :meth:`finish` returns.
         """
         if self._closed:
             raise SessionClosedError(f"session '{self.name}' is finished")
         taken = self._frames
         self._frames = []
+        return taken
+
+    def take_telemetry(self) -> List[FrameTelemetry]:
+        """Drain the per-frame hardware telemetry accumulated so far.
+
+        The streaming multiplexer (and any live energy consumer) drains
+        this after every submit to feed a :class:`repro.soc.frame_cost.CostMeter`;
+        like :meth:`take_results`, draining keeps an always-on session's
+        memory bounded.  Events drained here no longer appear in the
+        :class:`~repro.core.types.SequenceResult` a later :meth:`finish`
+        returns.
+        """
+        if self._closed:
+            raise SessionClosedError(f"session '{self.name}' is finished")
+        taken = self._telemetry
+        self._telemetry = []
         return taken
 
     def finish(self) -> SequenceResult:
@@ -485,4 +520,8 @@ class EuphratesSession:
         self._closed = True
         if self._on_finish is not None:
             self._on_finish(self)
-        return SequenceResult(sequence_name=self.name, frames=self._frames)
+        return SequenceResult(
+            sequence_name=self.name,
+            frames=self._frames,
+            telemetry=self._telemetry,
+        )

@@ -36,8 +36,15 @@ from .window import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..soc.config import SoCConfig
+    from ..soc.soc import VisionSoC
     from .backends import InferenceBackend
     from .pipeline import EuphratesConfig, EuphratesPipeline
+
+#: Hosts the E-frame extrapolation algorithm can run on: the dedicated
+#: motion-controller IP (the Euphrates design) or the CPU cluster (the
+#: EW-N@CPU software baseline of Fig. 9b).
+EXTRAPOLATION_HOSTS = ("mc", "cpu")
 
 #: Window-mode spellings accepted for the adaptive (EW-A) controller.
 _ADAPTIVE_ALIASES = {"adaptive", "ew-a", "a"}
@@ -74,6 +81,14 @@ class PipelineSpec:
     sub_roi_grid: Tuple[int, int] = (2, 2)
     #: Euphrates ISP augmentation: expose motion vectors to the backend SoC.
     expose_motion_vectors: bool = True
+    #: The modeled SoC this pipeline's cost is priced on: a named capture
+    #: preset (``default``/``1080p30``/``720p60``/...) or ``WxH@FPS``.
+    #: Purely a hardware-model knob — it never changes pipeline outputs.
+    soc_config: str = "default"
+    #: Where E-frame extrapolation is hosted when pricing energy: the
+    #: dedicated motion-controller IP (``mc``) or software on the CPU
+    #: cluster (``cpu``, the Fig. 9b EW-N@CPU baseline).
+    extrapolation_host: str = "mc"
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -90,6 +105,16 @@ class PipelineSpec:
         if len(grid) != 2 or grid[0] <= 0 or grid[1] <= 0:
             raise ValueError("sub_roi_grid must be two positive integers")
         object.__setattr__(self, "sub_roi_grid", grid)
+        if self.extrapolation_host not in EXTRAPOLATION_HOSTS:
+            raise ValueError(
+                f"unknown extrapolation host '{self.extrapolation_host}' "
+                f"(expected one of {EXTRAPOLATION_HOSTS})"
+            )
+        # Fail loudly on bad SoC names at construction, like every other
+        # knob (the import is deferred: soc depends on core, not vice versa).
+        from ..soc.config import resolve_soc_config
+
+        resolve_soc_config(self.soc_config)
 
     # ------------------------------------------------------------------
     # Alternate constructors
@@ -175,6 +200,24 @@ class PipelineSpec:
             help="model a conventional ISP that discards its motion vectors "
             "(every frame becomes an I-frame)",
         )
+        parser.add_argument(
+            "--soc-config",
+            dest="spec_soc_config",
+            default=defaults.soc_config,
+            metavar="NAME|WxH@FPS",
+            help="modeled SoC capture setting for energy pricing: a preset "
+            "name (default, 1080p60, 1080p30, 720p60, 720p30, 4k30) or an "
+            f"explicit WIDTHxHEIGHT@FPS (default: {defaults.soc_config})",
+        )
+        parser.add_argument(
+            "--extrapolation-host",
+            dest="spec_extrapolation_host",
+            choices=list(EXTRAPOLATION_HOSTS),
+            default=defaults.extrapolation_host,
+            help="where E-frame extrapolation runs when pricing energy: the "
+            "motion-controller IP or software on the CPU cluster "
+            f"(default: {defaults.extrapolation_host})",
+        )
 
     @classmethod
     def from_cli_args(cls, args: argparse.Namespace) -> "PipelineSpec":
@@ -196,6 +239,8 @@ class PipelineSpec:
             search_policy=args.spec_search_policy,
             sub_roi_grid=grid,
             expose_motion_vectors=args.spec_expose_motion_vectors,
+            soc_config=args.spec_soc_config,
+            extrapolation_host=args.spec_extrapolation_host,
         )
 
     # ------------------------------------------------------------------
@@ -224,6 +269,10 @@ class PipelineSpec:
             tokens += ["--sub-roi-grid", "x".join(str(v) for v in self.sub_roi_grid)]
         if not self.expose_motion_vectors:
             tokens += ["--no-motion-vectors"]
+        if self.soc_config != defaults.soc_config:
+            tokens += ["--soc-config", self.soc_config]
+        if self.extrapolation_host != defaults.extrapolation_host:
+            tokens += ["--extrapolation-host", self.extrapolation_host]
         return tokens
 
     def cache_key(self) -> Tuple[object, ...]:
@@ -240,6 +289,8 @@ class PipelineSpec:
             self.search_policy,
             self.sub_roi_grid,
             self.expose_motion_vectors,
+            self.soc_config,
+            self.extrapolation_host,
         )
 
     def describe(self) -> str:
@@ -255,6 +306,10 @@ class PipelineSpec:
             label += f"/{self.search_policy}"
         if not self.expose_motion_vectors:
             label += "/no-mv"
+        if self.soc_config != "default":
+            label += f"/soc:{self.soc_config}"
+        if self.extrapolation_host != "mc":
+            label += f"/ew@{self.extrapolation_host}"
         return label
 
     # ------------------------------------------------------------------
@@ -299,3 +354,23 @@ class PipelineSpec:
     def with_window(self, window: Union[int, str]) -> "PipelineSpec":
         """This spec with a different extrapolation window (sweep helper)."""
         return replace(self, extrapolation_window=window)
+
+    # ------------------------------------------------------------------
+    # The modeled SoC this configuration prices energy on
+    # ------------------------------------------------------------------
+    @property
+    def extrapolation_on_cpu(self) -> bool:
+        """Whether energy pricing hosts E-frame extrapolation in software."""
+        return self.extrapolation_host == "cpu"
+
+    def soc_configuration(self) -> "SoCConfig":
+        """The :class:`~repro.soc.config.SoCConfig` named by ``soc_config``."""
+        from ..soc.config import resolve_soc_config
+
+        return resolve_soc_config(self.soc_config)
+
+    def vision_soc(self) -> "VisionSoC":
+        """A :class:`~repro.soc.soc.VisionSoC` model for this spec's SoC."""
+        from ..soc.soc import VisionSoC
+
+        return VisionSoC(self.soc_configuration())

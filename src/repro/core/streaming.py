@@ -13,9 +13,15 @@ makes the case for first-class concurrent-stream support).  The
   extrapolation only) are interleaved round-robin so no stream starves,
   while expensive I-frames (full CNN inference) are gathered across streams
   and dispatched in batches — the access pattern a real accelerator wants,
-  since weights stay resident across a batch;
+  since weights stay resident across a batch; an alternative
+  energy/deadline-aware policy (``policy="energy"``) defers I-frames within
+  a backlog deadline to build full batches and serves the deepest queues
+  first;
 * per-stream and aggregate throughput/latency statistics are tracked as
-  scheduling happens, feeding ``benchmarks/run_stream_bench.py``.
+  scheduling happens, feeding ``benchmarks/run_stream_bench.py``; with an
+  attached energy model (``soc`` + ``network``) each stream's frames are
+  priced on the modeled SoC as they are processed, including amortised
+  weight traffic across batched I-frames.
 
 Because sessions are fully isolated, the per-stream results are bit-identical
 to running each sequence through its own pipeline — scheduling order affects
@@ -35,10 +41,19 @@ from .session import EuphratesSession
 from .types import Detection, FrameKind, SequenceResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..nn.models import NetworkSpec
+    from ..soc.frame_cost import CostMeter
+    from ..soc.soc import EnergyBreakdown, VisionSoC
     from ..video.sequence import VideoSequence
     from .backends import InferenceBackend
     from .pipeline import EuphratesPipeline
     from .window import WindowController
+
+
+#: Scheduling policies: ``fair`` is the round-robin fair-share scheduler;
+#: ``energy`` defers I-frames (within a deadline) to build full inference
+#: batches, maximising NNX weight reuse, and serves the deepest queues first.
+SCHEDULING_POLICIES = ("fair", "energy")
 
 
 @dataclass
@@ -92,6 +107,11 @@ class MultiplexerReport:
     inference_batches: int
     #: Sizes of every I-frame batch the scheduler dispatched.
     batch_sizes: List[int] = field(default_factory=list)
+    #: Modeled SoC energy per stream (present when the multiplexer was
+    #: given an energy model; keyed by stream id).  Each breakdown prices
+    #: that camera's frames on the modeled SoC — I-frames dispatched in a
+    #: batch of k amortise the NNX weight traffic over k streams.
+    stream_energy: Dict[str, "EnergyBreakdown"] = field(default_factory=dict)
 
     @property
     def aggregate_fps(self) -> float:
@@ -103,17 +123,59 @@ class MultiplexerReport:
             return 0.0
         return sum(self.batch_sizes) / len(self.batch_sizes)
 
+    # -- energy aggregates (empty dict => no energy model attached) -----
+    #
+    # Each stream's breakdown prices that camera as if it owned the whole
+    # modeled SoC, so the sums below count per-SoC *static* power (NNX
+    # idle, DRAM background, MC idle) once per stream.  The sensor + ISP
+    # really are per-camera, but on a single shared SoC the accelerator/
+    # memory static terms would be paid once — making these aggregates an
+    # upper bound for the shared-SoC deployment (the dynamic terms,
+    # including cross-stream weight-batch amortisation, are exact).  A
+    # first-class shared-SoC aggregate model is a ROADMAP item.
+    @property
+    def aggregate_energy_j(self) -> float:
+        """Total modeled energy, summed over per-stream (own-SoC) meters."""
+        return sum(b.total_energy_j for b in self.stream_energy.values())
+
+    @property
+    def aggregate_energy_per_frame_j(self) -> float:
+        frames = sum(b.num_frames for b in self.stream_energy.values())
+        if not frames:
+            return 0.0
+        return self.aggregate_energy_j / frames
+
+    @property
+    def aggregate_power_w(self) -> float:
+        """Aggregate power: streams run concurrently in model time, so the
+        denominator is the longest per-stream wall clock, not the sum (see
+        the static-power caveat above — upper bound for one shared SoC)."""
+        wall = max((b.wall_time_s for b in self.stream_energy.values()), default=0.0)
+        if wall <= 0:
+            return 0.0
+        return self.aggregate_energy_j / wall
+
 
 class _Stream:
-    """Internal per-stream record: session + queue + stats."""
+    """Internal per-stream record: session + queue + stats (+ cost meter)."""
 
-    def __init__(self, stream_id: str, session: EuphratesSession) -> None:
+    def __init__(
+        self,
+        stream_id: str,
+        session: EuphratesSession,
+        meter: "CostMeter | None" = None,
+    ) -> None:
         self.stream_id = stream_id
         self.session = session
         #: Queue of (frame, truth, force_inference, enqueue_time).
         self.queue: Deque[Tuple[np.ndarray, Optional[Sequence[Detection]], bool, float]] = deque()
         self.stats = StreamStats(name=stream_id)
         self.result: Optional[SequenceResult] = None
+        #: Per-stream SoC cost meter (None when no energy model is attached).
+        self.meter = meter
+        #: Scheduling rounds this stream's head frame has sat as a deferred
+        #: I-frame (energy policy's age-based deadline).
+        self.i_head_rounds = 0
 
     @property
     def drained(self) -> bool:
@@ -136,6 +198,24 @@ class StreamMultiplexer:
     process per scheduling round (fairness knob: a stream with a deep queue
     of cheap frames cannot starve the others).  ``max_inference_batch``
     bounds how many I-frames the scheduler groups into one inference batch.
+
+    ``policy`` selects the scheduler: ``"fair"`` (default) is the
+    round-robin fair-share scheduler; ``"energy"`` is energy/deadline-aware
+    — it serves the deepest queues first and *defers* I-frames until a full
+    ``max_inference_batch`` is ready (maximising NNX weight reuse), unless
+    a ready stream breaches its deadline (queue depth *or* head-frame age
+    in scheduling rounds reaches ``deadline_frames``) or no other progress
+    was possible this round.  Scheduling order affects latency and
+    energy attribution, never outputs — sessions are fully isolated, so
+    per-stream results are bit-identical under every policy.
+
+    Passing an energy model (``soc`` + ``network``) attaches one
+    :class:`~repro.soc.frame_cost.CostMeter` per stream: every processed
+    frame's telemetry is drained from its session and priced as it
+    happens, with batched I-frames amortising the weight DRAM traffic over
+    the batch.  :meth:`report` then carries per-stream
+    :class:`~repro.soc.soc.EnergyBreakdown` objects plus aggregate
+    power/energy-per-frame statistics.  Metering is observe-only.
     """
 
     def __init__(
@@ -144,14 +224,34 @@ class StreamMultiplexer:
         *,
         e_frame_burst: int = 4,
         max_inference_batch: int = 4,
+        policy: str = "fair",
+        deadline_frames: int = 8,
+        soc: "VisionSoC | None" = None,
+        network: "NetworkSpec | None" = None,
+        extrapolation_on_cpu: bool = False,
     ) -> None:
         if e_frame_burst < 1:
             raise ValueError("e_frame_burst must be >= 1")
         if max_inference_batch < 1:
             raise ValueError("max_inference_batch must be >= 1")
+        if policy not in SCHEDULING_POLICIES:
+            raise ValueError(
+                f"unknown policy '{policy}' (expected one of {SCHEDULING_POLICIES})"
+            )
+        if deadline_frames < 1:
+            raise ValueError("deadline_frames must be >= 1")
+        if (soc is None) != (network is None):
+            raise ValueError("energy metering needs both soc and network")
         self.pipeline = pipeline
         self.e_frame_burst = e_frame_burst
         self.max_inference_batch = max_inference_batch
+        self.policy = policy
+        self.deadline_frames = deadline_frames
+        self._soc = soc
+        self._network = network
+        #: E-frame pricing host for the attached meters (the EW-N@CPU
+        #: software baseline when True).
+        self._extrapolation_on_cpu = extrapolation_on_cpu
         self._streams: Dict[str, _Stream] = {}
         self._order: List[str] = []
         self._rr_offset = 0
@@ -194,7 +294,14 @@ class StreamMultiplexer:
             backend=backend,
             window_controller=window_controller,
         )
-        self._streams[name] = _Stream(name, session)
+        meter = None
+        if self._soc is not None:
+            meter = self._soc.open_meter(
+                self._network,
+                extrapolation_on_cpu=self._extrapolation_on_cpu,
+                label=name,
+            )
+        self._streams[name] = _Stream(name, session, meter=meter)
         self._order.append(name)
         return name
 
@@ -247,7 +354,7 @@ class StreamMultiplexer:
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def _process_head(self, stream: _Stream) -> FrameKind:
+    def _process_head(self, stream: _Stream, batch_size: int = 1) -> FrameKind:
         frame, truth, force, enqueued_at = stream.queue.popleft()
         start = time.perf_counter()
         try:
@@ -268,6 +375,14 @@ class StreamMultiplexer:
         stats.frames_processed = session_stats.frames
         stats.inference_frames = session_stats.inference_frames
         stats.extrapolation_frames = session_stats.extrapolation_frames
+        # Drain the session's telemetry even when no meter consumes it:
+        # always-on streams never finish(), so leaving events to accumulate
+        # would grow memory for the lifetime of the camera.
+        events = stream.session.take_telemetry()
+        if stream.meter is not None:
+            # Price what actually happened, as it happens.
+            for event in events:
+                stream.meter.record(event, batch_size=batch_size)
         return result.kind
 
     def _round_robin(self) -> List[_Stream]:
@@ -279,27 +394,54 @@ class StreamMultiplexer:
         self._rr_offset += 1
         return active[offset:] + active[:offset]
 
+    def _deadline_breached(self, stream: _Stream) -> bool:
+        """Whether a stream's head I-frame can no longer wait for a fuller batch.
+
+        Two triggers: backlog depth (a fast camera filling its queue) and
+        age in scheduling rounds (a slow camera whose lone I-frame would
+        otherwise be deferred forever while other streams keep the pump
+        busy with E-frames).
+        """
+        return (
+            len(stream.queue) >= self.deadline_frames
+            or stream.i_head_rounds >= self.deadline_frames
+        )
+
     def pump(self) -> int:
         """Run one scheduling round; return the number of frames processed.
 
         A round has two phases:
 
-        1. **E-phase** — round-robin over the streams, letting each process
-           up to ``e_frame_burst`` queued frames as long as the session
-           predicts they are cheap E-frames.
+        1. **E-phase** — walk the streams in policy order (round-robin for
+           ``fair``, deepest-backlog-first for ``energy``), letting each
+           process up to ``e_frame_burst`` queued frames as long as the
+           session predicts they are cheap E-frames.
         2. **I-phase** — gather the streams whose next frame needs full
            inference and dispatch up to ``max_inference_batch`` of them
            back-to-back as one batch (weights stay resident across the
-           batch on a real accelerator).
+           batch on a real accelerator).  The ``energy`` policy defers a
+           partial batch to a later round — unless a gathered stream
+           breaches its deadline (queue depth or rounds-deferred reaching
+           ``deadline_frames``), or nothing else was processed this round
+           (so progress is always guaranteed, and a lone I-frame on a
+           stalled camera cannot starve behind other streams' E-traffic).
 
         Mis-predictions are benign: the authoritative I/E decision is made
         inside ``session.submit`` exactly as in the batch pipeline.
         """
         round_start = time.perf_counter()
         processed = 0
-        # One rotation per round (shared by both phases), so the lead
-        # position really cycles over every stream.
-        order = self._round_robin()
+        if self.policy == "energy":
+            # Deadline pressure first: the deepest backlog is the stream
+            # closest to missing its (frame-budget) deadline.
+            order = sorted(
+                (self._streams[name] for name in self._order),
+                key=lambda stream: -len(stream.queue),
+            )
+        else:
+            # One rotation per round (shared by both phases), so the lead
+            # position really cycles over every stream.
+            order = self._round_robin()
 
         for stream in order:
             burst = 0
@@ -316,11 +458,31 @@ class StreamMultiplexer:
             stream
             for stream in order
             if stream.queue and stream.head_kind() is FrameKind.INFERENCE
-        ][: self.max_inference_batch]
+        ]
+        if batch and self.policy == "energy":
+            for stream in batch:
+                stream.i_head_rounds += 1
+            dispatch = (
+                len(batch) >= self.max_inference_batch
+                or any(self._deadline_breached(stream) for stream in batch)
+                or processed == 0
+            )
+            if not dispatch:
+                batch = []
+            else:
+                # Most-overdue heads board first (age, then queue depth):
+                # the batch is about to be truncated, and the whole point
+                # of the deadline is that an aged head cannot keep losing
+                # its seat to deeper queues round after round.
+                batch.sort(
+                    key=lambda stream: (-stream.i_head_rounds, -len(stream.queue))
+                )
+        batch = batch[: self.max_inference_batch]
         if batch:
             self._batch_sizes.append(len(batch))
             for stream in batch:
-                self._process_head(stream)
+                stream.i_head_rounds = 0
+                self._process_head(stream, batch_size=len(batch))
                 processed += 1
 
         # Wall time accumulates per round, so callers driving the scheduler
@@ -358,6 +520,11 @@ class StreamMultiplexer:
     def report(self) -> MultiplexerReport:
         """Aggregate scheduling statistics accumulated so far."""
         stats = [self._streams[name].stats for name in self._order]
+        stream_energy: Dict[str, "EnergyBreakdown"] = {}
+        for name in self._order:
+            meter = self._streams[name].meter
+            if meter is not None and meter.frames:
+                stream_energy[name] = meter.breakdown()
         return MultiplexerReport(
             streams=stats,
             wall_s=self._wall_s,
@@ -366,6 +533,7 @@ class StreamMultiplexer:
             extrapolation_frames=sum(s.extrapolation_frames for s in stats),
             inference_batches=len(self._batch_sizes),
             batch_sizes=list(self._batch_sizes),
+            stream_energy=stream_energy,
         )
 
     # ------------------------------------------------------------------

@@ -39,6 +39,36 @@ class Detection:
         return replace(self, box=box, extrapolated=True)
 
 
+@dataclass(frozen=True)
+class FrameTelemetry:
+    """What actually happened, hardware-wise, while processing one frame.
+
+    Emitted by :meth:`repro.core.session.EuphratesSession.submit` as an
+    observe-only event stream: recording telemetry never changes the vision
+    output.  The record is deliberately hardware-agnostic — it states what
+    the pipeline *did* (frame kind, pixels through the ISP, ROI count,
+    motion-search work) and :class:`repro.soc.frame_cost.CostMeter` prices
+    it against a concrete SoC model.
+    """
+
+    frame_index: int
+    kind: FrameKind
+    #: Luma pixels that went through the ISP for this frame.  ``None`` means
+    #: "unknown"; cost models then price the frame at their nominal capture
+    #: setting.
+    pixels: Optional[int] = None
+    #: ROIs the backend produced this frame (the extrapolated set on
+    #: E-frames — what the motion controller actually has to move).
+    rois: int = 1
+    #: Motion-estimation (SAD search) operations the ISP actually spent.
+    motion_ops: float = 0.0
+    #: Operations the ROI-extrapolation algorithm actually spent (0 on
+    #: I-frames).
+    extrapolation_ops: float = 0.0
+    #: Name of the session/stream that processed the frame.
+    stream: str = ""
+
+
 @dataclass
 class FrameResult:
     """Vision output for one frame of a continuous video stream."""
@@ -76,6 +106,10 @@ class SequenceResult:
 
     sequence_name: str
     frames: List[FrameResult] = field(default_factory=list)
+    #: Per-frame hardware telemetry recorded while producing ``frames``
+    #: (empty when the producer drained it separately or predates the
+    #: telemetry API).  Observe-only: never feeds back into the results.
+    telemetry: List[FrameTelemetry] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.frames)

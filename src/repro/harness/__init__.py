@@ -35,9 +35,12 @@ from .experiments import (
     figure1_accuracy_vs_tops,
     figure9a_detection_precision,
     figure9b_detection_energy,
+    figure9b_detection_energy_measured,
     figure9c_compute_memory,
     figure10a_tracking_success,
     figure10b_tracking_energy,
+    figure10b_tracking_energy_measured,
+    fold_energy_breakdown,
     figure10c_per_sequence_success,
     figure11a_macroblock_sensitivity,
     figure11b_es_vs_tss,
@@ -70,9 +73,12 @@ __all__ = [
     "table2_workloads",
     "figure9a_detection_precision",
     "figure9b_detection_energy",
+    "figure9b_detection_energy_measured",
     "figure9c_compute_memory",
     "figure10a_tracking_success",
     "figure10b_tracking_energy",
+    "figure10b_tracking_energy_measured",
+    "fold_energy_breakdown",
     "figure10c_per_sequence_success",
     "figure11a_macroblock_sensitivity",
     "figure11b_es_vs_tss",

@@ -8,6 +8,10 @@ Examples::
     # One figure as markdown (what EXPERIMENTS.md records), JSON on the side:
     PYTHONPATH=src python -m repro.harness run fig10a --markdown --json-dir out/
 
+    # Analytic vs measured energy (the latter priced from per-frame
+    # telemetry recorded by actual pipeline runs), on a 720p30 SoC:
+    PYTHONPATH=src python -m repro.harness run fig9b fig9b_measured --soc-config 720p30
+
     # Process-parallel sweep on a multi-core box:
     PYTHONPATH=src python -m repro.harness run-all --workers 8
 

@@ -258,6 +258,127 @@ def figure9b_detection_energy(
     return result
 
 
+def fold_energy_breakdown(
+    soc: VisionSoC,
+    network,
+    results,
+    *,
+    extrapolation_on_cpu: bool = False,
+    label: str,
+) -> EnergyBreakdown:
+    """Fold recorded per-frame telemetry into an :class:`EnergyBreakdown`.
+
+    This is the *measured* energy path: instead of collapsing a run into an
+    aggregate :class:`~repro.soc.soc.FrameSchedule`, every frame's recorded
+    :class:`~repro.core.types.FrameTelemetry` event (true frame kind, true
+    ROI count) is priced through the same
+    :class:`~repro.soc.frame_cost.CostMeter` core the analytic path uses.
+    Events are priced at the SoC's nominal capture setting so measured and
+    analytic tables are directly comparable — what is measured is the
+    schedule and the ROI counts, not the synthetic frames' tiny geometry.
+    """
+    meter = soc.open_meter(
+        network,
+        extrapolation_on_cpu=extrapolation_on_cpu,
+        assume_nominal_capture=True,
+        label=label,
+    )
+    recorded = 0
+    for result in results:
+        recorded += meter.record_all(result.telemetry)
+    if recorded == 0:
+        raise ValueError(
+            f"no telemetry recorded for '{label}' (results predate the "
+            "per-frame telemetry API?)"
+        )
+    return meter.breakdown(label)
+
+
+def figure9b_detection_energy_measured(
+    dataset: Optional[Dataset] = None,
+    ew_values: Sequence[int] = DEFAULT_EW_SWEEP,
+    seed: int = 1,
+    runner: Optional[SweepRunner] = None,
+    spec: Optional[PipelineSpec] = None,
+    soc: Optional[VisionSoC] = None,
+) -> EnergyExperimentResult:
+    """Fig. 9b, measured mode: detection energy from recorded event streams.
+
+    Runs the actual Euphrates pipeline per configuration and prices every
+    processed frame, so the I/E schedule and ROI counts are measurements
+    rather than the constant-EW closed form.  Shares sweep points with
+    Fig. 9a through the runner cache.  The spec's ``extrapolation_host``
+    picks the E-frame pricing host for every row (the dedicated EW-8@CPU
+    row always prices on the CPU, mirroring the analytic figure).
+    """
+    dataset = dataset or build_detection_dataset()
+    runner = runner or SweepRunner()
+    spec = spec or PipelineSpec()
+    soc = soc or VisionSoC()
+    yolo = build_yolo_v2()
+    tiny = build_tiny_yolo()
+    host_on_cpu = spec.extrapolation_on_cpu
+    result = EnergyExperimentResult(
+        title="Fig. 9b (measured): detection energy and FPS from per-frame telemetry",
+        baseline_label="YOLOv2",
+    )
+
+    def measure(label, backend_name, network, window, on_cpu=host_on_cpu):
+        run_result = runner.run("detection", backend_name, dataset, window, spec=spec, seed=seed)
+        result.breakdowns[label] = fold_energy_breakdown(
+            soc, network, run_result.sequences,
+            extrapolation_on_cpu=on_cpu, label=label,
+        )
+
+    measure("YOLOv2", "yolov2", yolo, 1)
+    for window in ew_values:
+        measure(f"EW-{window}", "yolov2", yolo, window)
+    measure("EW-8@CPU", "yolov2", yolo, 8, on_cpu=True)
+    measure("TinyYOLO", "tinyyolo", tiny, 1)
+    return result
+
+
+def figure10b_tracking_energy_measured(
+    dataset: Optional[Dataset] = None,
+    ew_values: Sequence[int] = DEFAULT_EW_SWEEP,
+    include_adaptive: bool = True,
+    seed: int = 1,
+    runner: Optional[SweepRunner] = None,
+    spec: Optional[PipelineSpec] = None,
+    soc: Optional[VisionSoC] = None,
+) -> EnergyExperimentResult:
+    """Fig. 10b, measured mode: tracking energy from recorded event streams.
+
+    The EW-A bar is the headline here: instead of assuming an adaptive
+    inference rate, the adaptive controller's actual per-frame I/E
+    decisions are priced event by event.
+    """
+    dataset = dataset or build_tracking_dataset()
+    runner = runner or SweepRunner()
+    spec = spec or PipelineSpec()
+    soc = soc or VisionSoC()
+    mdnet = build_mdnet()
+    result = EnergyExperimentResult(
+        title="Fig. 10b (measured): tracking energy and inference rate "
+        "from per-frame telemetry",
+        baseline_label="MDNet",
+    )
+
+    def measure(label, window):
+        run_result = runner.run("tracking", "mdnet", dataset, window, spec=spec, seed=seed)
+        result.breakdowns[label] = fold_energy_breakdown(
+            soc, mdnet, run_result.sequences,
+            extrapolation_on_cpu=spec.extrapolation_on_cpu, label=label,
+        )
+
+    measure("MDNet", 1)
+    for window in ew_values:
+        measure(f"EW-{window}", window)
+    if include_adaptive:
+        measure("EW-A", "adaptive")
+    return result
+
+
 def figure9c_compute_memory(
     ew_values: Sequence[int] = DEFAULT_EW_SWEEP,
     num_frames: int = 7264,
@@ -587,9 +708,50 @@ def _fig9a(context: ExperimentContext) -> ExperimentArtifact:
 
 @register("fig9b", "Fig. 9b: detection energy and FPS", kind="figure")
 def _fig9b(context: ExperimentContext) -> ExperimentArtifact:
-    result = figure9b_detection_energy()
+    result = figure9b_detection_energy(soc=context.vision_soc)
     artifact = ExperimentArtifact(name="fig9b", title=result.title, kind="figure")
     artifact.add_table(result.headers(), result.rows())
+    return artifact
+
+
+def _measured_vs_analytic_metadata(
+    measured: EnergyExperimentResult, analytic: EnergyExperimentResult
+) -> Dict[str, object]:
+    """Per-configuration % delta of measured vs analytic per-frame energy."""
+    deltas = {}
+    for label, breakdown in measured.breakdowns.items():
+        reference = analytic.breakdowns.get(label)
+        if reference is None:
+            continue
+        deltas[label] = round(
+            100.0 * (breakdown.energy_per_frame_j / reference.energy_per_frame_j - 1.0),
+            2,
+        )
+    return {"vs_analytic_pct": deltas}
+
+
+@register(
+    "fig9b_measured",
+    "Fig. 9b (measured): detection energy from per-frame telemetry",
+    kind="figure",
+)
+def _fig9b_measured(context: ExperimentContext) -> ExperimentArtifact:
+    result = figure9b_detection_energy_measured(
+        dataset=context.detection_dataset,
+        seed=context.seed,
+        runner=context.runner,
+        spec=context.base_spec,
+        soc=context.vision_soc,
+    )
+    artifact = ExperimentArtifact(name="fig9b_measured", title=result.title, kind="figure")
+    artifact.add_table(result.headers(), result.rows())
+    artifact.metadata.update(
+        _measured_vs_analytic_metadata(
+            result, figure9b_detection_energy(soc=context.vision_soc)
+        )
+    )
+    artifact.metadata.update(_dataset_metadata(context.detection_dataset))
+    artifact.metadata["seed"] = context.seed
     return artifact
 
 
@@ -628,11 +790,44 @@ def _fig10b(context: ExperimentContext) -> ExperimentArtifact:
     # The EW-A bar is driven by the inference rate actually measured in the
     # Fig. 10a sweep (memoized, so run-all still runs that sweep only once).
     measured = context.artifact("fig10a").metadata.get("inference_rates", {})
-    result = figure10b_tracking_energy(adaptive_inference_rate=measured.get("EW-A"))
+    result = figure10b_tracking_energy(
+        adaptive_inference_rate=measured.get("EW-A"), soc=context.vision_soc
+    )
     artifact = ExperimentArtifact(name="fig10b", title=result.title, kind="figure")
     artifact.add_table(result.headers(), result.rows())
     if "EW-A" in measured:
         artifact.metadata["adaptive_inference_rate"] = measured["EW-A"]
+    return artifact
+
+
+@register(
+    "fig10b_measured",
+    "Fig. 10b (measured): tracking energy from per-frame telemetry",
+    kind="figure",
+)
+def _fig10b_measured(context: ExperimentContext) -> ExperimentArtifact:
+    result = figure10b_tracking_energy_measured(
+        dataset=context.tracking_dataset,
+        seed=context.seed,
+        runner=context.runner,
+        spec=context.base_spec,
+        soc=context.vision_soc,
+    )
+    artifact = ExperimentArtifact(
+        name="fig10b_measured", title=result.title, kind="figure"
+    )
+    artifact.add_table(result.headers(), result.rows())
+    rates = context.artifact("fig10a").metadata.get("inference_rates", {})
+    artifact.metadata.update(
+        _measured_vs_analytic_metadata(
+            result,
+            figure10b_tracking_energy(
+                adaptive_inference_rate=rates.get("EW-A"), soc=context.vision_soc
+            ),
+        )
+    )
+    artifact.metadata.update(_dataset_metadata(context.tracking_dataset))
+    artifact.metadata["seed"] = context.seed
     return artifact
 
 

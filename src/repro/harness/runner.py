@@ -293,11 +293,23 @@ class ExperimentContext:
         self.base_spec = base_spec
         self._dataset_cache: Dict[str, Dataset] = {}
         self._artifacts: Dict[str, ExperimentArtifact] = {}
+        self._vision_soc = None
 
     @property
     def search_policy(self) -> str:
         """ES candidate-scan policy of :attr:`base_spec` (Fig. 11b sweeps)."""
         return self.base_spec.search_policy
+
+    @property
+    def vision_soc(self):
+        """The modeled SoC named by the base spec's ``--soc-config``.
+
+        Shared across experiments so analytic and measured energy figures
+        price frames on the same hardware model.
+        """
+        if self._vision_soc is None:
+            self._vision_soc = self.base_spec.vision_soc()
+        return self._vision_soc
 
     # -- datasets (built lazily, shared between experiments) -----------
     @property

@@ -10,8 +10,8 @@ per-frame compute (GOPS at 60 FPS) matches Table 2 of the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 from .layers import ConvLayer, FullyConnectedLayer, LayerSpec, PoolLayer
 

@@ -21,8 +21,11 @@ from .motion_controller import MotionControllerIP
 from .cpu import CPUHost
 from .dram import DRAMModel
 from .soc import EnergyBreakdown, FrameSchedule, VisionSoC
+from .frame_cost import CostMeter, FrameCost
 
 __all__ = [
+    "CostMeter",
+    "FrameCost",
     "NNXConfig",
     "MotionControllerConfig",
     "DRAMConfig",

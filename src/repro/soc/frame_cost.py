@@ -1,0 +1,270 @@
+"""Per-frame SoC costing: one pricing core for analytic and measured energy.
+
+Historically the hardware model was closed-form arithmetic over an aggregate
+:class:`~repro.soc.soc.FrameSchedule` — fine for constant-EW sweeps, but the
+live pipeline (:class:`~repro.core.session.EuphratesSession`, the
+:class:`~repro.core.streaming.StreamMultiplexer`) never produced hardware
+cost, so adaptive-EW and multi-camera energy were approximations.  This
+module closes that gap with an event API:
+
+* the pipeline emits one :class:`~repro.core.types.FrameTelemetry` record
+  per processed frame (observe-only — outputs are untouched);
+* :meth:`CostMeter.price` turns one event into a :class:`FrameCost` — the
+  frame's backend latency, active-unit times, DRAM traffic and compute ops;
+* :meth:`CostMeter.record` folds priced events into running totals, and
+  :meth:`CostMeter.breakdown` finalises the fold into the same
+  :class:`~repro.soc.soc.EnergyBreakdown` the analytic path reports.
+
+``VisionSoC.evaluate*`` is itself implemented as a fold over synthetic
+events (one per schedule bucket, with a count multiplier), so the analytic
+constant-EW path and the measured path share exactly this costing core —
+property-tested for equivalence in ``tests/test_frame_cost.py``.
+
+Energy that is *rate*-like (frontend capture power, DRAM background, NNX/MC
+idle leakage) can only be charged against an interval, so the fold carries
+active times and settles those terms at :meth:`CostMeter.breakdown` using
+``wall = max(backend compute time, frames x capture period)`` — the same
+steady-state wall-clock rule the closed-form model always used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..core.types import FrameKind, FrameTelemetry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..nn.models import NetworkSpec
+    from .soc import EnergyBreakdown, VisionSoC
+
+
+@dataclass(frozen=True)
+class FrameCost:
+    """Hardware cost of processing one frame (marginal, per-event terms).
+
+    Interval-shared terms (frontend power, DRAM background, idle leakage)
+    are intentionally absent — they belong to the fold, not to any single
+    frame; :meth:`CostMeter.breakdown` settles them over the wall clock.
+    """
+
+    kind: FrameKind
+    #: Backend compute latency of this frame: a full NNX inference on
+    #: I-frames, ROI extrapolation (MC or CPU host) on E-frames.
+    latency_s: float
+    #: Time the NNX spends active on this frame (0 on E-frames).
+    nnx_active_s: float
+    #: Time the MC datapath spends extrapolating (0 on I-frames and under
+    #: the CPU host).
+    mc_busy_s: float
+    #: Energy charged to the CPU cluster (software-hosted extrapolation:
+    #: wake the cluster, run, park again).
+    cpu_energy_j: float
+    #: DRAM traffic of this frame: frame-buffer in/out, MV metadata, plus
+    #: the I-frame inference payload or the E-frame MC accesses.
+    traffic_bytes: int
+    #: Vision-algorithm compute (CNN ops or MC fixed-point ops).
+    ops: float
+    #: ISP motion-estimation ops actually spent (0 on the analytic path;
+    #: informational — ISP energy is modeled as capture power x time).
+    isp_motion_ops: float = 0.0
+
+
+class CostMeter:
+    """Prices :class:`~repro.core.types.FrameTelemetry` events on one SoC.
+
+    One meter = one stream (or one analytic schedule) on one network.
+    ``extrapolation_on_cpu`` selects the E-frame host (the EW-N@CPU
+    configurations of Fig. 9b).  ``assume_nominal_capture`` prices every
+    event at the SoC's nominal frame size regardless of the pixels the
+    event actually recorded — the measured experiment mode uses this so a
+    small synthetic run is priced as if captured at the modeled 1080p60
+    setting, making measured and analytic tables directly comparable (the
+    measured part is then the I/E schedule and the true ROI counts).
+    """
+
+    def __init__(
+        self,
+        soc: "VisionSoC",
+        network: "NetworkSpec",
+        *,
+        extrapolation_on_cpu: bool = False,
+        assume_nominal_capture: bool = False,
+        label: Optional[str] = None,
+    ) -> None:
+        self.soc = soc
+        self.network = network
+        self.extrapolation_on_cpu = extrapolation_on_cpu
+        self.assume_nominal_capture = assume_nominal_capture
+        self.label = label or network.name
+        # Per-inference constants (they do not vary event to event).
+        self._inference_latency_s = soc.nnx.inference_latency_s(network)
+        self._input_bytes = soc.network_input_bytes(network)
+        (
+            self._inference_input_traffic,
+            self._inference_weight_traffic,
+            self._inference_activation_traffic,
+        ) = soc.nnx.inference_traffic_parts(network, self._input_bytes)
+        self._cpu_cost = soc.cpu.extrapolation_cost()
+        # Fold state.
+        self.frames = 0
+        self.inference_frames = 0
+        self.extrapolation_frames = 0
+        self.backend_time_s = 0.0
+        self.nnx_active_s = 0.0
+        self.mc_busy_s = 0.0
+        self.cpu_energy_j = 0.0
+        self.traffic_bytes = 0
+        self.ops = 0.0
+        self.isp_motion_ops = 0.0
+
+    # ------------------------------------------------------------------
+    # Pricing (pure)
+    # ------------------------------------------------------------------
+    def _event_pixels(self, event: FrameTelemetry) -> Optional[int]:
+        if self.assume_nominal_capture or event.pixels is None:
+            return None  # the SoC's nominal capture setting
+        return event.pixels
+
+    def price(self, event: FrameTelemetry, batch_size: int = 1) -> FrameCost:
+        """Price one frame event; pure (no fold-state update).
+
+        ``batch_size`` is the size of the I-frame batch this inference was
+        dispatched in: the NNX keeps weights resident across a batch, so
+        the weight DRAM traffic is amortised over ``batch_size`` frames
+        (the multiplexer's batched-inference pricing).  Ignored for
+        E-frames.
+        """
+        soc = self.soc
+        pixels = self._event_pixels(event)
+        frontend_traffic = soc.frontend_traffic_bytes_per_frame(pixels)
+        metadata_bytes = soc.motion_metadata_bytes_per_frame(pixels=pixels)
+
+        if event.kind is FrameKind.INFERENCE:
+            latency = self._inference_latency_s
+            nnx_active = latency
+            mc_busy = 0.0
+            cpu_energy = 0.0
+            payload = soc.nnx.batched_traffic_bytes(
+                self._inference_input_traffic,
+                self._inference_weight_traffic,
+                self._inference_activation_traffic,
+                batch_size,
+            )
+            ops = float(self.network.ops_per_frame)
+        else:
+            rois = max(0, int(event.rois))
+            mc = soc.motion_controller
+            if self.extrapolation_on_cpu:
+                mc_busy = 0.0
+                latency = self._cpu_cost.latency_s if rois else 0.0
+                cpu_energy = self._cpu_cost.energy_j if rois else 0.0
+            else:
+                latency = mc.extrapolation_latency_s(rois)
+                mc_busy = latency
+                cpu_energy = 0.0
+            payload = mc.extrapolation_traffic_bytes(metadata_bytes, rois)
+            ops = mc.extrapolation_ops(rois)
+
+        return FrameCost(
+            kind=event.kind,
+            latency_s=latency,
+            nnx_active_s=nnx_active if event.kind is FrameKind.INFERENCE else 0.0,
+            mc_busy_s=mc_busy,
+            cpu_energy_j=cpu_energy,
+            traffic_bytes=int(frontend_traffic + metadata_bytes + payload),
+            ops=ops,
+            isp_motion_ops=float(event.motion_ops),
+        )
+
+    # ------------------------------------------------------------------
+    # Folding
+    # ------------------------------------------------------------------
+    def record(
+        self, event: FrameTelemetry, count: int = 1, batch_size: int = 1
+    ) -> FrameCost:
+        """Price ``event`` and fold it into the totals ``count`` times.
+
+        The analytic path records one event per schedule bucket with a
+        large ``count``; the measured path records each frame's event with
+        ``count=1`` — both land in identical fold state.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        cost = self.price(event, batch_size=batch_size)
+        if count == 0:
+            return cost
+        self.frames += count
+        if event.kind is FrameKind.INFERENCE:
+            self.inference_frames += count
+        else:
+            self.extrapolation_frames += count
+        self.backend_time_s += count * cost.latency_s
+        self.nnx_active_s += count * cost.nnx_active_s
+        self.mc_busy_s += count * cost.mc_busy_s
+        self.cpu_energy_j += count * cost.cpu_energy_j
+        self.traffic_bytes += count * cost.traffic_bytes
+        self.ops += count * cost.ops
+        self.isp_motion_ops += count * cost.isp_motion_ops
+        return cost
+
+    def record_all(self, events, batch_size: int = 1) -> int:
+        """Fold an iterable of events; returns how many were recorded."""
+        recorded = 0
+        for event in events:
+            self.record(event, batch_size=batch_size)
+            recorded += 1
+        return recorded
+
+    # ------------------------------------------------------------------
+    # Finalisation
+    # ------------------------------------------------------------------
+    @property
+    def wall_time_s(self) -> float:
+        """Steady-state wall clock: compute-bound or capture-bound."""
+        capture_time = self.frames * self.soc.config.frame_period_s
+        return max(self.backend_time_s, capture_time)
+
+    @property
+    def inference_rate(self) -> float:
+        return self.inference_frames / self.frames if self.frames else 0.0
+
+    def breakdown(self, label: Optional[str] = None) -> "EnergyBreakdown":
+        """Settle the interval-shared terms and return the energy summary.
+
+        Non-destructive: the fold state is kept, so a live consumer can ask
+        for a running breakdown while frames keep arriving.
+        """
+        from .soc import EnergyBreakdown
+
+        if self.frames == 0:
+            raise ValueError("no frames recorded; nothing to break down")
+        soc = self.soc
+        config = soc.config
+        wall_time = self.wall_time_s
+        fps = self.frames / wall_time
+
+        frontend_energy = config.frontend_power_w * wall_time
+        nnx = soc.nnx
+        nnx_energy = nnx.config.active_power_w * self.nnx_active_s + nnx.idle_energy_j(
+            max(0.0, wall_time - self.nnx_active_s)
+        )
+        mc = soc.motion_controller
+        mc_energy = mc.config.active_power_w * self.mc_busy_s + mc.idle_energy_j(
+            max(0.0, wall_time - self.mc_busy_s)
+        )
+        memory_energy = soc.dram.energy_j(self.traffic_bytes, wall_time)
+
+        return EnergyBreakdown(
+            label=label or self.label,
+            num_frames=self.frames,
+            fps=fps,
+            inference_rate=self.inference_rate,
+            frontend_energy_j=frontend_energy,
+            memory_energy_j=memory_energy,
+            backend_energy_j=nnx_energy + mc_energy,
+            cpu_energy_j=self.cpu_energy_j,
+            total_traffic_bytes=int(self.traffic_bytes),
+            total_ops=self.ops,
+            wall_time_s=wall_time,
+        )

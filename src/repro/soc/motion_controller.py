@@ -61,17 +61,26 @@ class MotionControllerIP:
     # Energy and traffic
     # ------------------------------------------------------------------
     def frame_energy_j(self, frame_period_s: float) -> float:
-        """Energy over one frame period.
+        """Energy over one frame period at full active power.
 
-        The IP is always on while the vision task runs (it sequences both I-
-        and E-frames), so its energy is simply power x time; at 2.2 mW it is
-        a rounding error next to the NNX.
+        Legacy aggregate view (the IP sequences both I- and E-frames); the
+        per-frame cost model now splits active extrapolation time from idle
+        sequencing via :meth:`idle_energy_j`.  At 2.2 mW either view is a
+        rounding error next to the NNX.
         """
         return self.config.active_power_w * frame_period_s
 
+    def idle_energy_j(self, duration_s: float) -> float:
+        """Energy while the sequencer waits between extrapolations."""
+        return self.config.idle_power_w * duration_s
+
     def extrapolation_traffic_bytes(self, motion_metadata_bytes: int, num_rois: int) -> int:
-        """DRAM traffic of one E-frame: MV metadata in, ROI results out."""
-        return int(motion_metadata_bytes + RESULT_BYTES_PER_ROI * max(1, num_rois))
+        """DRAM traffic of one E-frame: MV metadata in, ROI results out.
+
+        An empty scene (``num_rois == 0``) reads the metadata but writes no
+        ROI results — true ROI counts are priced, with no phantom floor.
+        """
+        return int(motion_metadata_bytes + RESULT_BYTES_PER_ROI * max(0, num_rois))
 
     def extrapolation_cost(
         self, frame_period_s: float, motion_metadata_bytes: int, num_rois: int

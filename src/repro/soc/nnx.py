@@ -62,16 +62,34 @@ class NNXAccelerator:
     # DRAM traffic
     # ------------------------------------------------------------------
     def inference_dram_traffic_bytes(
-        self, network: NetworkSpec, input_frame_bytes: int
+        self, network: NetworkSpec, input_frame_bytes: int, batch_size: int = 1
     ) -> int:
-        """DRAM bytes moved by one full-frame inference.
+        """Per-frame DRAM bytes moved by one full-frame inference.
 
-        The traffic has three parts: the input frame pixels read from the
-        frame buffer, the network weights streamed in (the 1.5 MB SRAM cannot
-        hold a full mobile detector), and intermediate feature maps spilled to
-        DRAM whenever a layer's working set exceeds the on-chip SRAM.  The
-        spill factor is calibrated so a YOLOv2 I-frame moves ~646 MB, matching
-        the paper's measurement (Sec. 6.1).
+        ``batch_size > 1`` models a weight-resident batch: the scheduler
+        dispatched this inference back-to-back with ``batch_size - 1``
+        inferences of the same network, so the weight stream is fetched
+        once for the whole batch and amortised per frame.
+        """
+        input_traffic, weight_traffic, activation_traffic = self.inference_traffic_parts(
+            network, input_frame_bytes
+        )
+        return self.batched_traffic_bytes(
+            input_traffic, weight_traffic, activation_traffic, batch_size
+        )
+
+    def inference_traffic_parts(
+        self, network: NetworkSpec, input_frame_bytes: int
+    ) -> tuple:
+        """The three DRAM-traffic components of one inference.
+
+        Returns ``(input_bytes, weight_bytes, activation_bytes)``: the input
+        frame pixels read from the frame buffer, the network weights
+        streamed in (the 1.5 MB SRAM cannot hold a full mobile detector),
+        and intermediate feature maps spilled to DRAM whenever a layer's
+        working set exceeds the on-chip SRAM.  The spill factor is
+        calibrated so a YOLOv2 I-frame moves ~646 MB, matching the paper's
+        measurement (Sec. 6.1).
         """
         weight_traffic = network.weight_bytes
         activation_traffic = 0.0
@@ -101,7 +119,24 @@ class NNXAccelerator:
                 activation_traffic += output_bytes
             previous_bytes = output_bytes
         activation_traffic *= network.evaluations_per_frame
-        return int(input_frame_bytes + weight_traffic + activation_traffic)
+        return input_frame_bytes, weight_traffic, activation_traffic
+
+    @staticmethod
+    def batched_traffic_bytes(
+        input_traffic: int,
+        weight_traffic: int,
+        activation_traffic: float,
+        batch_size: int = 1,
+    ) -> int:
+        """Per-frame traffic with the weight stream amortised over a batch.
+
+        Input pixels and spilled activations are inherently per-frame; only
+        the weights stay resident in the double-buffered SRAM across a
+        batch, so they are the only amortisable component.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        return int(input_traffic + weight_traffic / batch_size + activation_traffic)
 
     # ------------------------------------------------------------------
     # Convenience

@@ -11,16 +11,19 @@ plotted in Figs. 9b, 9c and 10b of the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
 
-from ..core.types import SequenceResult
+from ..core.types import FrameKind, FrameTelemetry, SequenceResult
 from ..nn.models import NetworkSpec
 from .config import SoCConfig
 from .cpu import CPUHost
 from .dram import DRAMModel
 from .motion_controller import MotionControllerIP
 from .nnx import NNXAccelerator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .frame_cost import CostMeter
 
 
 #: Bytes per pixel of the unpacked RAW Bayer data the sensor streams in.
@@ -89,14 +92,19 @@ class FrameSchedule:
         rois_per_frame: Optional[float] = None,
         extrapolation_on_cpu: bool = False,
     ) -> "FrameSchedule":
-        """Build a schedule from actual pipeline runs (adaptive-EW case)."""
+        """Build a schedule from actual pipeline runs (adaptive-EW case).
+
+        ``rois_per_frame`` is the true mean detection count — an empty
+        scene prices as zero motion-controller work (the old behaviour
+        clamped it to at least 1.0, charging phantom MC cost).
+        """
         num_frames = sum(len(r) for r in results)
         inference = sum(r.inference_count for r in results)
         if num_frames == 0:
             raise ValueError("results contain no frames")
         if rois_per_frame is None:
             total_rois = sum(len(f.detections) for r in results for f in r.frames)
-            rois_per_frame = max(1.0, total_rois / num_frames)
+            rois_per_frame = total_rois / num_frames
         return cls(
             num_frames=num_frames,
             inference_frames=inference,
@@ -184,21 +192,33 @@ class VisionSoC:
     def frame_pixels(self) -> int:
         return self.config.frame_width * self.config.frame_height
 
-    def frontend_traffic_bytes_per_frame(self) -> int:
+    def frontend_traffic_bytes_per_frame(self, pixels: Optional[int] = None) -> int:
         """DRAM traffic the frontend generates for every captured frame.
 
         RAW Bayer write by the sensor interface, RAW read by the ISP, the
         processed RGB/YUV frame write, and a preview/display read of the
         processed frame — roughly 21 MB per 1080p frame, which together with
         the backend's E-frame metadata accesses reproduces the paper's
-        ~23 MB-per-E-frame figure.
+        ~23 MB-per-E-frame figure.  ``pixels`` prices a measured frame of a
+        different size; ``None`` uses the nominal capture setting.
         """
-        raw = self.frame_pixels * RAW_BYTES_PER_PIXEL
-        processed = self.frame_pixels * PROCESSED_BYTES_PER_PIXEL
+        pixels = self.frame_pixels if pixels is None else int(pixels)
+        raw = pixels * RAW_BYTES_PER_PIXEL
+        processed = pixels * PROCESSED_BYTES_PER_PIXEL
         return raw + raw + processed + processed
 
-    def motion_metadata_bytes_per_frame(self, macroblock_size: int = 16) -> int:
-        """Size of the per-frame MV metadata Euphrates appends (Sec. 4.2)."""
+    def motion_metadata_bytes_per_frame(
+        self, macroblock_size: int = 16, pixels: Optional[int] = None
+    ) -> int:
+        """Size of the per-frame MV metadata Euphrates appends (Sec. 4.2).
+
+        With ``pixels`` the macroblock grid is approximated from the pixel
+        count alone (measured frames report size, not geometry); the
+        nominal path keeps the exact width/height grid.
+        """
+        if pixels is not None and pixels != self.frame_pixels:
+            blocks = -(-int(pixels) // (macroblock_size * macroblock_size))
+            return blocks * 2
         cols = -(-self.config.frame_width // macroblock_size)
         rows = -(-self.config.frame_height // macroblock_size)
         return rows * cols * 2  # 1 byte MV + 1 byte confidence per macroblock
@@ -211,86 +231,60 @@ class VisionSoC:
     # ------------------------------------------------------------------
     # Main evaluation entry point
     # ------------------------------------------------------------------
+    def open_meter(
+        self,
+        network: NetworkSpec,
+        *,
+        extrapolation_on_cpu: bool = False,
+        assume_nominal_capture: bool = False,
+        label: Optional[str] = None,
+    ) -> "CostMeter":
+        """A fresh per-frame cost meter for ``network`` on this SoC.
+
+        The meter is the single costing core: the live pipeline folds its
+        recorded :class:`~repro.core.types.FrameTelemetry` events through
+        it, and :meth:`evaluate` folds an aggregate schedule through the
+        very same pricing.
+        """
+        from .frame_cost import CostMeter
+
+        return CostMeter(
+            self,
+            network,
+            extrapolation_on_cpu=extrapolation_on_cpu,
+            assume_nominal_capture=assume_nominal_capture,
+            label=label,
+        )
+
     def evaluate(
         self,
         network: NetworkSpec,
         schedule: FrameSchedule,
         label: Optional[str] = None,
     ) -> EnergyBreakdown:
-        """Energy/performance of running ``schedule`` with ``network`` I-frames."""
-        config = self.config
-        capture_period = config.frame_period_s
+        """Energy/performance of running ``schedule`` with ``network`` I-frames.
 
-        inference_latency = self.nnx.inference_latency_s(network)
-        extrapolation_latency = self.motion_controller.extrapolation_latency_s(
-            int(round(schedule.rois_per_frame))
+        Implemented as a fold of per-frame events over :meth:`open_meter`
+        (one synthetic event per schedule bucket, with a count multiplier),
+        so the analytic path prices frames exactly like the measured
+        telemetry path does.
+        """
+        meter = self.open_meter(
+            network, extrapolation_on_cpu=schedule.extrapolation_on_cpu
         )
-        if schedule.extrapolation_on_cpu:
-            cpu_cost = self.cpu.extrapolation_cost()
-            extrapolation_latency = cpu_cost.latency_s
-
-        # Achieved output frame rate: the backend cannot emit results faster
-        # than the camera captures frames, nor faster than its own compute
-        # allows in steady state.
-        backend_time = (
-            schedule.inference_frames * inference_latency
-            + schedule.extrapolation_frames * extrapolation_latency
-        )
-        capture_time = schedule.num_frames * capture_period
-        wall_time = max(backend_time, capture_time)
-        fps = schedule.num_frames / wall_time
-
-        # ---------------- Frontend ----------------
-        frontend_energy = config.frontend_power_w * wall_time
-
-        # ---------------- Backend -----------------
-        nnx_active_time = schedule.inference_frames * inference_latency
-        nnx_energy = (
-            self.nnx.config.active_power_w * nnx_active_time
-            + self.nnx.idle_energy_j(max(0.0, wall_time - nnx_active_time))
-        )
-        mc_energy = self.motion_controller.config.active_power_w * wall_time
-        backend_energy = nnx_energy + mc_energy
-
-        cpu_energy = 0.0
-        if schedule.extrapolation_on_cpu:
-            cpu_energy = self.cpu.extrapolation_cost().energy_j * schedule.extrapolation_frames
-
-        # ---------------- Memory ------------------
-        frame_bytes = self.frontend_traffic_bytes_per_frame()
-        metadata_bytes = self.motion_metadata_bytes_per_frame()
-        inference_traffic = self.nnx.inference_dram_traffic_bytes(
-            network, self.network_input_bytes(network)
-        )
-        extrapolation_traffic = self.motion_controller.extrapolation_traffic_bytes(
-            metadata_bytes, int(round(schedule.rois_per_frame))
-        )
-        total_traffic = (
-            schedule.num_frames * (frame_bytes + metadata_bytes)
-            + schedule.inference_frames * inference_traffic
-            + schedule.extrapolation_frames * extrapolation_traffic
-        )
-        memory_energy = self.dram.energy_j(total_traffic, wall_time)
-
-        # ---------------- Compute ops --------------
-        total_ops = (
-            schedule.inference_frames * float(network.ops_per_frame)
-            + schedule.extrapolation_frames
-            * self.motion_controller.extrapolation_ops(int(round(schedule.rois_per_frame)))
-        )
-
-        return EnergyBreakdown(
-            label=label or f"{network.name}/{schedule.inference_rate:.2f}",
-            num_frames=schedule.num_frames,
-            fps=fps,
-            inference_rate=schedule.inference_rate,
-            frontend_energy_j=frontend_energy,
-            memory_energy_j=memory_energy,
-            backend_energy_j=backend_energy,
-            cpu_energy_j=cpu_energy,
-            total_traffic_bytes=int(total_traffic),
-            total_ops=total_ops,
-            wall_time_s=wall_time,
+        rois = int(round(schedule.rois_per_frame))
+        if schedule.inference_frames:
+            meter.record(
+                FrameTelemetry(frame_index=0, kind=FrameKind.INFERENCE, rois=rois),
+                count=schedule.inference_frames,
+            )
+        if schedule.extrapolation_frames:
+            meter.record(
+                FrameTelemetry(frame_index=0, kind=FrameKind.EXTRAPOLATION, rois=rois),
+                count=schedule.extrapolation_frames,
+            )
+        return meter.breakdown(
+            label or f"{network.name}/{schedule.inference_rate:.2f}"
         )
 
     # ------------------------------------------------------------------

@@ -16,9 +16,9 @@ frame, sequence count ratios) follows the originals.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Sequence, Tuple
 
-from .attributes import FIGURE12_ATTRIBUTE_ORDER, VisualAttribute
+from .attributes import VisualAttribute
 from .sequence import VideoSequence
 from .synthetic import SequenceConfig, SequenceGenerator
 

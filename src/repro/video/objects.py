@@ -14,7 +14,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.geometry import BoundingBox
-from .trajectories import CompositeTrajectory, Trajectory
+from .trajectories import Trajectory
 
 
 @dataclass

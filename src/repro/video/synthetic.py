@@ -10,7 +10,7 @@ object models, so evaluation never depends on a human annotation step.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 import numpy as np

@@ -6,7 +6,6 @@ stays fast; tests that need to mutate them must copy first.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.geometry import BoundingBox, MotionVector

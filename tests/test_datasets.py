@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.video.attributes import VisualAttribute
 from repro.video.datasets import (

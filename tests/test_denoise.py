@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.isp.denoise import TemporalDenoiseConfig, TemporalDenoiseStage
 from repro.motion.block_matching import BlockMatchingConfig

@@ -206,9 +206,9 @@ class TestAttributeBreakdown:
         assert breakdown == {VisualAttribute.OCCLUSION: pytest.approx(1.0)}
 
     def test_breakdown_on_real_dataset(self, tiny_tracking_dataset):
-        from repro.core import build_pipeline, tracking_backend_for
+        from repro.core import PipelineSpec, tracking_backend_for
 
-        pipeline = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=2)
+        pipeline = PipelineSpec(extrapolation_window=2).build(tracking_backend_for("mdnet"))
         results = pipeline.run_dataset(tiny_tracking_dataset)
         breakdown = attribute_precision(results, tiny_tracking_dataset, 0.5)
         assert breakdown

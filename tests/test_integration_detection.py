@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import build_pipeline, detection_backend_for
+from repro.core import PipelineSpec, detection_backend_for
 from repro.eval import average_precision
 from repro.nn.models import build_tiny_yolo, build_yolo_v2
 from repro.soc import VisionSoC
@@ -21,8 +21,8 @@ def detection_runs(tiny_detection_dataset):
         ("EW-32", "yolov2", 32),
         ("TinyYOLO", "tinyyolo", 1),
     ):
-        pipeline = build_pipeline(
-            detection_backend_for(backend_name, seed=9), extrapolation_window=window
+        pipeline = PipelineSpec(extrapolation_window=window).build(
+            detection_backend_for(backend_name, seed=9)
         )
         runs[label] = pipeline.run_dataset(dataset)
     return runs

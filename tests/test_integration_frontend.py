@@ -9,10 +9,8 @@ on I-frames -> motion extrapolation on E-frames.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.extrapolation import MotionExtrapolator
-from repro.core.geometry import BoundingBox
 from repro.isp.pipeline import ISPPipeline
 from repro.isp.sensor import CameraSensor
 from repro.nn.classical import NCCTemplateTracker, NCCTrackerConfig

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import build_pipeline, tracking_backend_for
+from repro.core import PipelineSpec, tracking_backend_for
 from repro.eval import success_rate
 from repro.nn.models import build_mdnet
 from repro.soc import VisionSoC
@@ -23,7 +23,7 @@ def tracking_runs(tiny_combined_tracking_dataset):
     dataset = tiny_combined_tracking_dataset
     runs = {}
     for label, window in (("MDNet", 1), ("EW-2", 2), ("EW-4", 4), ("EW-32", 32), ("EW-A", "adaptive")):
-        pipeline = build_pipeline(tracking_backend_for("mdnet", seed=7), extrapolation_window=window)
+        pipeline = PipelineSpec(extrapolation_window=window).build(tracking_backend_for("mdnet", seed=7))
         results = pipeline.run_dataset(dataset)
         runs[label] = results
     return runs

@@ -5,7 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro.core.backends import tracking_backend_for, detection_backend_for
-from repro.core.pipeline import EuphratesConfig, EuphratesPipeline, build_pipeline
+from repro.core.pipeline import EuphratesPipeline
+from repro.core.spec import PipelineSpec
 from repro.core.types import FrameKind
 from repro.core.window import AdaptiveWindowController, ConstantWindowController
 from repro.motion.block_matching import SearchStrategy
@@ -13,12 +14,12 @@ from repro.motion.block_matching import SearchStrategy
 
 class TestScheduling:
     def test_first_frame_is_always_inference(self, small_sequence):
-        pipeline = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=8)
+        pipeline = PipelineSpec(extrapolation_window=8).build(tracking_backend_for("mdnet"))
         result = pipeline.run(small_sequence)
         assert result.frames[0].kind is FrameKind.INFERENCE
 
     def test_constant_window_pattern(self, small_sequence):
-        pipeline = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=4)
+        pipeline = PipelineSpec(extrapolation_window=4).build(tracking_backend_for("mdnet"))
         result = pipeline.run(small_sequence)
         kinds = [frame.kind for frame in result.frames]
         # Frames 0, 4, 8, ... are I-frames; everything else is extrapolated.
@@ -27,48 +28,46 @@ class TestScheduling:
             assert kind is expected
 
     def test_ew1_never_extrapolates(self, small_sequence):
-        pipeline = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=1)
+        pipeline = PipelineSpec(extrapolation_window=1).build(tracking_backend_for("mdnet"))
         result = pipeline.run(small_sequence)
         assert result.extrapolation_count == 0
         assert result.inference_rate == 1.0
 
     def test_inference_rate_matches_window(self, small_sequence):
-        pipeline = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=2)
+        pipeline = PipelineSpec(extrapolation_window=2).build(tracking_backend_for("mdnet"))
         result = pipeline.run(small_sequence)
         assert result.inference_rate == pytest.approx(0.5, abs=0.05)
 
     def test_disabled_motion_vectors_forces_inference(self, small_sequence):
         """Without the Euphrates ISP augmentation every frame is an I-frame."""
-        pipeline = build_pipeline(
-            tracking_backend_for("mdnet"),
-            extrapolation_window=4,
-            expose_motion_vectors=False,
-        )
+        pipeline = PipelineSpec(
+            extrapolation_window=4, expose_motion_vectors=False
+        ).build(tracking_backend_for("mdnet"))
         result = pipeline.run(small_sequence)
         assert result.inference_rate == 1.0
 
     def test_window_size_recorded_per_frame(self, small_sequence):
-        pipeline = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=4)
+        pipeline = PipelineSpec(extrapolation_window=4).build(tracking_backend_for("mdnet"))
         result = pipeline.run(small_sequence)
         assert {frame.window_size for frame in result.frames} == {4}
 
 
 class TestResults:
     def test_every_frame_has_a_result(self, small_sequence):
-        pipeline = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=2)
+        pipeline = PipelineSpec(extrapolation_window=2).build(tracking_backend_for("mdnet"))
         result = pipeline.run(small_sequence)
         assert len(result) == small_sequence.num_frames
         assert all(frame.detections for frame in result.frames)
 
     def test_extrapolated_frames_are_flagged(self, small_sequence):
-        pipeline = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=2)
+        pipeline = PipelineSpec(extrapolation_window=2).build(tracking_backend_for("mdnet"))
         result = pipeline.run(small_sequence)
         for frame in result.frames:
             for detection in frame.detections:
                 assert detection.extrapolated == frame.is_extrapolated
 
     def test_extrapolated_boxes_follow_target(self, small_sequence):
-        pipeline = build_pipeline(tracking_backend_for("mdnet", seed=3), extrapolation_window=2)
+        pipeline = PipelineSpec(extrapolation_window=2).build(tracking_backend_for("mdnet", seed=3))
         result = pipeline.run(small_sequence)
         target = small_sequence.primary_object_id
         ious = []
@@ -83,21 +82,21 @@ class TestResults:
         assert sum(ious) / len(ious) > 0.6
 
     def test_detection_pipeline_handles_multiple_objects(self, multi_object_sequence):
-        pipeline = build_pipeline(detection_backend_for("yolov2", seed=2), extrapolation_window=2)
+        pipeline = PipelineSpec(extrapolation_window=2).build(detection_backend_for("yolov2", seed=2))
         result = pipeline.run(multi_object_sequence)
         extrapolated_frames = [f for f in result.frames if f.is_extrapolated]
         assert extrapolated_frames
         assert all(len(f.detections) >= 2 for f in extrapolated_frames)
 
     def test_run_dataset_returns_one_result_per_sequence(self, tiny_tracking_dataset):
-        pipeline = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=4)
+        pipeline = PipelineSpec(extrapolation_window=4).build(tracking_backend_for("mdnet"))
         results = pipeline.run_dataset(tiny_tracking_dataset)
         assert len(results) == len(tiny_tracking_dataset)
         names = {result.sequence_name for result in results}
         assert names == {sequence.name for sequence in tiny_tracking_dataset}
 
     def test_extrapolation_ops_accumulate(self, small_sequence):
-        pipeline = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=2)
+        pipeline = PipelineSpec(extrapolation_window=2).build(tracking_backend_for("mdnet"))
         pipeline.run(small_sequence)
         assert pipeline.total_extrapolation_ops > 0
 
@@ -116,28 +115,27 @@ class TestAdaptiveMode:
         windows = {f.window_size for r in results for f in r.frames}
         assert len(windows) > 1  # the window actually adapted
 
-    def test_build_pipeline_adaptive_string(self):
-        pipeline = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window="adaptive")
+    def test_adaptive_window_string_spec(self):
+        pipeline = PipelineSpec(extrapolation_window="adaptive").build(tracking_backend_for("mdnet"))
         assert isinstance(pipeline.window_controller, AdaptiveWindowController)
         with pytest.raises(ValueError):
-            build_pipeline(tracking_backend_for("mdnet"), extrapolation_window="sometimes")
+            PipelineSpec(extrapolation_window="sometimes")
 
 
-class TestBuildPipelineOptions:
+class TestSpecBuildOptions:
     def test_block_size_and_strategy_propagate(self):
-        pipeline = build_pipeline(
-            tracking_backend_for("mdnet"),
+        pipeline = PipelineSpec(
             extrapolation_window=2,
             block_size=32,
             exhaustive_search=True,
             sub_roi_grid=(1, 1),
-        )
+        ).build(tracking_backend_for("mdnet"))
         assert pipeline.config.block_matching.block_size == 32
         assert pipeline.config.block_matching.strategy is SearchStrategy.EXHAUSTIVE
         assert pipeline.config.extrapolation.sub_roi_grid == (1, 1)
 
     def test_default_controller_is_constant(self):
-        pipeline = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=3)
+        pipeline = PipelineSpec(extrapolation_window=3).build(tracking_backend_for("mdnet"))
         assert isinstance(pipeline.window_controller, ConstantWindowController)
         assert pipeline.window_controller.current_window == 3
 
@@ -200,7 +198,7 @@ class TestDisagreementMetric:
 class TestEngineReuse:
     def test_repeated_runs_are_deterministic(self, small_sequence):
         """Reused ISP/extrapolator state must reset between sequences."""
-        pipeline = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=2)
+        pipeline = PipelineSpec(extrapolation_window=2).build(tracking_backend_for("mdnet"))
         first = pipeline.run(small_sequence)
         second = pipeline.run(small_sequence)
         assert len(first) == len(second)
@@ -210,7 +208,7 @@ class TestEngineReuse:
                 assert da.box.as_xywh() == pytest.approx(db.box.as_xywh())
 
     def test_engines_are_reused_across_runs(self, small_sequence):
-        pipeline = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=2)
+        pipeline = PipelineSpec(extrapolation_window=2).build(tracking_backend_for("mdnet"))
         pipeline.run(small_sequence)
         isp = pipeline._isp
         extrapolator = pipeline._extrapolator
@@ -221,8 +219,8 @@ class TestEngineReuse:
 
 class TestParallelRunDataset:
     def test_parallel_matches_serial(self, tiny_tracking_dataset):
-        serial = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=4)
-        parallel = build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=4)
+        serial = PipelineSpec(extrapolation_window=4).build(tracking_backend_for("mdnet"))
+        parallel = PipelineSpec(extrapolation_window=4).build(tracking_backend_for("mdnet"))
         serial_results = serial.run_dataset(tiny_tracking_dataset)
         parallel_results = parallel.run_dataset(tiny_tracking_dataset, max_workers=2)
         assert [r.sequence_name for r in serial_results] == [

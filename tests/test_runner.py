@@ -30,9 +30,11 @@ EXPECTED_EXPERIMENTS = [
     "table2",
     "fig9a",
     "fig9b",
+    "fig9b_measured",
     "fig9c",
     "fig10a",
     "fig10b",
+    "fig10b_measured",
     "fig10c",
     "fig11a",
     "fig11b",

@@ -319,3 +319,51 @@ class TestDimensionBoundSessions:
             range(10, small_sequence.num_frames)
         )
         assert session.stats.frames == small_sequence.num_frames
+
+
+class TestTelemetry:
+    """The observe-only per-frame hardware event stream."""
+
+    def test_one_event_per_frame_mirroring_results(self, small_sequence):
+        pipeline = PipelineSpec(extrapolation_window=4).build(tracking_backend_for("mdnet"))
+        result = pipeline.run(small_sequence)
+        assert len(result.telemetry) == len(result.frames)
+        for frame, event in zip(result.frames, result.telemetry):
+            assert event.frame_index == frame.frame_index
+            assert event.kind is frame.kind
+            assert event.rois == len(frame.detections)
+            assert event.pixels == small_sequence.width * small_sequence.height
+            assert event.stream == small_sequence.name
+        # E-frames record actual extrapolation work.  (I-frames after the
+        # first may record some too: the disagreement metric extrapolates a
+        # prediction before inferring.)
+        for frame, event in zip(result.frames, result.telemetry):
+            if frame.kind is FrameKind.EXTRAPOLATION:
+                assert event.extrapolation_ops > 0
+        assert result.telemetry[0].extrapolation_ops == 0.0
+
+    def test_take_telemetry_drains_like_take_results(self, small_sequence):
+        pipeline = PipelineSpec(extrapolation_window=2).build(tracking_backend_for("mdnet"))
+        session = pipeline.open_session(source=small_sequence)
+        for index, frame in small_sequence.iter_frames():
+            session.submit(frame)
+            if index == 9:
+                drained = session.take_telemetry()
+                assert [e.frame_index for e in drained] == list(range(10))
+        remainder = session.finish()
+        assert [e.frame_index for e in remainder.telemetry] == list(
+            range(10, small_sequence.num_frames)
+        )
+        with pytest.raises(SessionClosedError):
+            session.take_telemetry()
+
+    def test_telemetry_is_observe_only(self, small_sequence):
+        """Draining (or not draining) telemetry never changes the outputs."""
+        spec = PipelineSpec(extrapolation_window=2)
+        batch = spec.build(tracking_backend_for("mdnet")).run(small_sequence)
+        pipeline = spec.build(tracking_backend_for("mdnet"))
+        session = pipeline.open_session(source=small_sequence)
+        for _, frame in small_sequence.iter_frames():
+            session.submit(frame)
+            session.take_telemetry()
+        assert_results_identical(batch, session.finish())

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.nn.models import build_mdnet, build_tiny_yolo, build_yolo_v2
-from repro.soc.config import CPUConfig, DRAMConfig, MotionControllerConfig, NNXConfig, SoCConfig
+from repro.soc.config import CPUConfig, DRAMConfig, NNXConfig, SoCConfig
 from repro.soc.cpu import CPUHost
 from repro.soc.dram import DRAMModel
 from repro.soc.motion_controller import MotionControllerIP

@@ -55,7 +55,49 @@ class TestFrameSchedule:
         schedule = FrameSchedule.from_results(results)
         assert schedule.num_frames == 8
         assert schedule.inference_frames == 4
-        assert schedule.rois_per_frame == 1.0  # floor of one ROI
+        # True ROI counts, no phantom floor: empty scenes price zero MC work.
+        assert schedule.rois_per_frame == 0.0
+
+    def test_empty_scene_prices_no_motion_controller_work(self, soc, mdnet):
+        """An all-empty E-frame schedule must not charge extrapolation cost."""
+        empty = FrameSchedule(
+            num_frames=100, inference_frames=10, extrapolation_frames=90,
+            rois_per_frame=0.0,
+        )
+        tracked = FrameSchedule(
+            num_frames=100, inference_frames=10, extrapolation_frames=90,
+            rois_per_frame=1.0,
+        )
+        empty_breakdown = soc.evaluate(mdnet, empty)
+        tracked_breakdown = soc.evaluate(mdnet, tracked)
+        # 10 K fixed-point ops per tracked ROI, none for empty scenes.
+        assert empty_breakdown.total_ops < tracked_breakdown.total_ops
+        extrapolation_ops = tracked_breakdown.total_ops - empty_breakdown.total_ops
+        assert extrapolation_ops == pytest.approx(90 * 10_000.0)
+        # The per-ROI result write-back disappears too (16 bytes per ROI).
+        write_back = (
+            tracked_breakdown.total_traffic_bytes - empty_breakdown.total_traffic_bytes
+        )
+        assert write_back == 90 * 16
+
+    def test_clock_gated_motion_controller_idle(self, mdnet):
+        """A lowered idle power only discounts the non-extrapolating time."""
+        from dataclasses import replace
+
+        from repro.soc.config import MotionControllerConfig, SoCConfig
+
+        gated = VisionSoC(
+            replace(SoCConfig(), motion_controller=MotionControllerConfig(idle_power_w=0.0))
+        )
+        always_on = VisionSoC()
+        schedule = FrameSchedule.constant_ew(4, num_frames=600)
+        gated_breakdown = gated.evaluate(mdnet, schedule)
+        baseline = always_on.evaluate(mdnet, schedule)
+        saved = baseline.backend_energy_j - gated_breakdown.backend_energy_j
+        # Almost the whole wall clock is idle for the MC, so the saving is
+        # close to (but strictly below) idle power x wall time.
+        assert 0.0 < saved < 0.0022 * baseline.wall_time_s
+        assert saved == pytest.approx(0.0022 * baseline.wall_time_s, rel=0.01)
 
 
 class TestDetectionScenario:

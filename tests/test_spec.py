@@ -38,6 +38,23 @@ class TestNormalization:
             PipelineSpec(search_policy="greedy")
         with pytest.raises(ValueError):
             PipelineSpec(sub_roi_grid=(0, 2))
+        with pytest.raises(ValueError):
+            PipelineSpec(soc_config="vga")
+        with pytest.raises(ValueError):
+            PipelineSpec(extrapolation_host="gpu")
+
+    def test_soc_surface(self):
+        spec = PipelineSpec(soc_config="720p30", extrapolation_host="cpu")
+        assert spec.extrapolation_on_cpu
+        config = spec.soc_configuration()
+        assert (config.frame_width, config.frame_height, config.frame_rate) == (
+            1280,
+            720,
+            30.0,
+        )
+        soc = spec.vision_soc()
+        assert soc.config.frame_period_s == pytest.approx(1.0 / 30.0)
+        assert not PipelineSpec().extrapolation_on_cpu
 
     def test_sub_roi_grid_coerced_to_tuple(self):
         spec = PipelineSpec(sub_roi_grid=[3, 1])
@@ -83,6 +100,8 @@ class TestCliRoundTrip:
             PipelineSpec(extrapolation_window=8, block_size=32, search_range=15),
             PipelineSpec(exhaustive_search=True, search_policy="full"),
             PipelineSpec(sub_roi_grid=(1, 1), expose_motion_vectors=False),
+            PipelineSpec(soc_config="720p30", extrapolation_host="cpu"),
+            PipelineSpec(soc_config="640x480@15"),
         ],
     )
     def test_to_cli_args_round_trips(self, spec):
@@ -122,6 +141,8 @@ class TestCacheKey:
             PipelineSpec(search_policy="full"),
             PipelineSpec(sub_roi_grid=(1, 1)),
             PipelineSpec(expose_motion_vectors=False),
+            PipelineSpec(soc_config="1080p30"),
+            PipelineSpec(extrapolation_host="cpu"),
         ]
         keys = {spec.cache_key() for spec in variants}
         assert len(keys) == len(variants)

@@ -7,7 +7,6 @@ import pytest
 from repro.core.backends import tracking_backend_for
 from repro.core.spec import PipelineSpec
 from repro.core.streaming import StreamMultiplexer
-from repro.core.types import FrameKind
 
 from test_session import assert_results_identical
 
@@ -183,3 +182,199 @@ class TestStats:
         assert second == f"{sequence.name}#1"
         with pytest.raises(ValueError, match="already exists"):
             mux.add_stream(sequence, name=first)
+
+
+class TestEnergyPolicy:
+    """The energy/deadline-aware scheduler and per-stream cost metering."""
+
+    def _energy_mux(self, spec=None, **kwargs):
+        from repro.nn.models import build_mdnet
+        from repro.soc import VisionSoC
+
+        spec = spec or PipelineSpec(extrapolation_window=4)
+        pipeline = spec.build(tracking_backend_for("mdnet"))
+        return StreamMultiplexer(
+            pipeline, soc=VisionSoC(), network=build_mdnet(), **kwargs
+        )
+
+    def test_energy_policy_results_identical_to_fair(self, tiny_tracking_dataset):
+        """Scheduling policy affects latency and energy, never outputs."""
+        sequences = tiny_tracking_dataset.sequences
+        spec = PipelineSpec(extrapolation_window=4)
+        fair, _ = StreamMultiplexer(
+            spec.build(tracking_backend_for("mdnet")), policy="fair"
+        ).run_streams(sequences)
+        energy, _ = StreamMultiplexer(
+            spec.build(tracking_backend_for("mdnet")), policy="energy"
+        ).run_streams(sequences)
+        for name in fair:
+            assert_results_identical(fair[name], energy[name])
+
+    def test_energy_policy_defers_partial_batches(self, tiny_tracking_dataset):
+        """Under backlog, the energy policy fills batches at least as well."""
+        sequences = tiny_tracking_dataset.sequences
+        spec = PipelineSpec(extrapolation_window=4)
+
+        def mean_batch(policy):
+            mux = StreamMultiplexer(
+                spec.build(tracking_backend_for("mdnet")),
+                policy=policy,
+                max_inference_batch=len(sequences),
+            )
+            _, report = mux.run_streams(sequences)
+            return report.mean_batch_size
+
+        assert mean_batch("energy") >= mean_batch("fair")
+
+    def test_deadline_forces_dispatch(self, tiny_tracking_dataset):
+        """A lone I-head past its deadline is dispatched, batch full or not."""
+        sequence = tiny_tracking_dataset.sequences[0]
+        mux = self._energy_mux(policy="energy", deadline_frames=2, max_inference_batch=8)
+        stream_id = mux.add_stream(sequence)
+        mux.feed_sequence(stream_id, sequence)
+        assert mux.drain() == sequence.num_frames
+
+    def test_per_stream_energy_breakdowns(self, tiny_tracking_dataset):
+        mux = self._energy_mux()
+        results, report = mux.run_streams(tiny_tracking_dataset.sequences)
+        assert set(report.stream_energy) == set(results)
+        for name, breakdown in report.stream_energy.items():
+            assert breakdown.num_frames == len(results[name])
+            assert breakdown.total_energy_j > 0.0
+            # EW-4 tracking: an I-frame every 4 frames.
+            assert breakdown.inference_rate == pytest.approx(0.25, abs=0.1)
+        assert report.aggregate_energy_j == pytest.approx(
+            sum(b.total_energy_j for b in report.stream_energy.values())
+        )
+        assert report.aggregate_energy_per_frame_j > 0.0
+        assert report.aggregate_power_w > 0.0
+
+    def test_batched_iframes_amortise_weight_traffic(self, tiny_tracking_dataset):
+        """Multi-stream batches must price below one-stream-at-a-time runs."""
+        sequences = tiny_tracking_dataset.sequences
+        batched = self._energy_mux(max_inference_batch=len(sequences))
+        _, batched_report = batched.run_streams(sequences)
+        solo_energy = {}
+        for sequence in sequences:
+            mux = self._energy_mux(max_inference_batch=1)
+            _, report = mux.run_streams([sequence])
+            solo_energy.update(
+                {name: b.total_traffic_bytes for name, b in report.stream_energy.items()}
+            )
+        for name, breakdown in batched_report.stream_energy.items():
+            assert breakdown.total_traffic_bytes < solo_energy[name]
+
+    def test_no_meter_without_energy_model(self, pipeline, tiny_tracking_dataset):
+        mux = StreamMultiplexer(pipeline)
+        _, report = mux.run_streams(tiny_tracking_dataset.sequences[:1])
+        assert report.stream_energy == {}
+        assert report.aggregate_energy_j == 0.0
+        assert report.aggregate_power_w == 0.0
+
+    def test_validation(self, pipeline):
+        with pytest.raises(ValueError, match="unknown policy"):
+            StreamMultiplexer(pipeline, policy="greedy")
+        with pytest.raises(ValueError, match="deadline_frames"):
+            StreamMultiplexer(pipeline, policy="energy", deadline_frames=0)
+        with pytest.raises(ValueError, match="soc and network"):
+            from repro.soc import VisionSoC
+
+            StreamMultiplexer(pipeline, soc=VisionSoC())
+
+    def test_stalled_iframe_cannot_starve_behind_e_traffic(self, tiny_tracking_dataset):
+        """A lone deferred I-head is dispatched once its round-age deadline hits,
+        even while other streams keep every pump round busy with E-frames."""
+        sequences = tiny_tracking_dataset.sequences[:2]
+        mux = self._energy_mux(policy="energy", deadline_frames=3, max_inference_batch=8)
+        starved = mux.add_stream(sequences[0], name="starved")
+        busy = mux.add_stream(sequences[1], name="busy")
+        # Warm both streams past frame 0 so the busy stream has E-heads.
+        for index in range(2):
+            mux.submit(starved, sequences[0].frame(index))
+            mux.submit(busy, sequences[1].frame(index))
+        mux.drain()
+        # The starved stream now queues exactly one I-frame (EW-4 phase
+        # puts frame 4 on an inference boundary takes submitting 2 more).
+        for index in range(2, 5):
+            mux.submit(starved, sequences[0].frame(index))
+        mux.drain()
+        assert mux.stats_for(starved).pending == 0
+        # Lone I-head, batch never fills, busy stream keeps the pump going.
+        mux.submit(starved, sequences[0].frame(5))
+        waited = 0
+        for index in range(2, sequences[1].num_frames):
+            mux.submit(busy, sequences[1].frame(index))
+            mux.pump()
+            if mux.stats_for(starved).pending:
+                waited += 1
+        assert mux.stats_for(starved).pending == 0
+        # ...and it did not wait for the queues to empty: it was dispatched
+        # within deadline_frames scheduling rounds.
+        assert waited <= 3
+
+    def test_meterless_multiplexer_drains_session_telemetry(
+        self, pipeline, tiny_tracking_dataset
+    ):
+        """Without an energy model the telemetry buffer must still be freed."""
+        sequence = tiny_tracking_dataset.sequences[0]
+        mux = StreamMultiplexer(pipeline)
+        stream_id = mux.add_stream(sequence)
+        mux.feed_sequence(stream_id, sequence)
+        mux.drain()
+        session = mux._streams[stream_id].session
+        assert session._telemetry == []
+
+    def test_deadline_breached_stream_boards_a_truncated_batch(
+        self, tiny_tracking_dataset
+    ):
+        """When more I-heads are ready than max_inference_batch, an aged
+        head must not lose its seat to deeper queues round after round."""
+        sequences = tiny_tracking_dataset.sequences
+        assert len(sequences) >= 3
+        # Every frame is an I-frame: deep busy queues always contend.
+        spec = PipelineSpec(extrapolation_window=4, expose_motion_vectors=False)
+        mux = StreamMultiplexer(
+            spec.build(tracking_backend_for("mdnet")),
+            policy="energy",
+            deadline_frames=3,
+            max_inference_batch=2,
+        )
+        starved = mux.add_stream(sequences[0], name="starved")
+        busy_ids = [
+            mux.add_stream(sequences[i % len(sequences)], name=f"busy{i}")
+            for i in range(1, 4)
+        ]
+        mux.submit(starved, sequences[0].frame(0))
+        rounds_waited = None
+        for round_index in range(12):
+            for i, stream_id in enumerate(busy_ids):
+                sequence = sequences[(i + 1) % len(sequences)]
+                mux.submit(stream_id, sequence.frame(round_index % sequence.num_frames))
+                mux.submit(stream_id, sequence.frame(round_index % sequence.num_frames))
+            mux.pump()
+            if rounds_waited is None and not mux.stats_for(starved).pending:
+                rounds_waited = round_index + 1
+        # Dispatched within ~deadline_frames rounds despite never having
+        # the deepest queue.
+        assert rounds_waited is not None and rounds_waited <= 4
+
+    def test_extrapolation_host_reaches_stream_meters(self, tiny_tracking_dataset):
+        """extrapolation_on_cpu=True must price E-frames on the CPU cluster."""
+        from repro.nn.models import build_mdnet
+        from repro.soc import VisionSoC
+
+        sequences = tiny_tracking_dataset.sequences[:2]
+        spec = PipelineSpec(extrapolation_window=4)
+
+        def total_cpu_energy(on_cpu):
+            mux = StreamMultiplexer(
+                spec.build(tracking_backend_for("mdnet")),
+                soc=VisionSoC(),
+                network=build_mdnet(),
+                extrapolation_on_cpu=on_cpu,
+            )
+            _, report = mux.run_streams(sequences)
+            return sum(b.cpu_energy_j for b in report.stream_energy.values())
+
+        assert total_cpu_energy(False) == 0.0
+        assert total_cpu_energy(True) > 0.0

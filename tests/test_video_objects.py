@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.geometry import BoundingBox
 from repro.video.objects import MovingObject, make_textured_part, _resize_nearest
 from repro.video.trajectories import LinearTrajectory
 
