@@ -51,9 +51,9 @@ from .core import (
     MultiplexerReport,
     PipelineSpec,
     SequenceResult,
+    ShardedExecutor,
     StreamMultiplexer,
     StreamStats,
-    build_pipeline,
     detection_backend_for,
     tracking_backend_for,
 )
@@ -81,7 +81,7 @@ __all__ = [
     "StreamMultiplexer",
     "StreamStats",
     "MultiplexerReport",
-    "build_pipeline",
+    "ShardedExecutor",
     "detection_backend_for",
     "tracking_backend_for",
     "VisionSoC",

@@ -34,11 +34,21 @@ from .backends import (
     detection_backend_for,
     tracking_backend_for,
 )
-from .pipeline import EuphratesConfig, EuphratesPipeline, build_pipeline
+from .executor import (
+    SCHEDULING_POLICIES,
+    TRANSPORTS,
+    ExecutionSpec,
+    FrameRecord,
+    FrameRef,
+    ShardedExecutor,
+    ShardError,
+    ShardSchedule,
+    StreamShard,
+)
+from .pipeline import EuphratesConfig, EuphratesPipeline
 from .session import EuphratesSession, SessionClosedError, SessionStats, StreamOracle
 from .spec import PipelineSpec
 from .streaming import (
-    SCHEDULING_POLICIES,
     MultiplexerReport,
     StreamMultiplexer,
     StreamStats,
@@ -80,5 +90,12 @@ __all__ = [
     "StreamStats",
     "MultiplexerReport",
     "SCHEDULING_POLICIES",
-    "build_pipeline",
+    "TRANSPORTS",
+    "ExecutionSpec",
+    "FrameRecord",
+    "FrameRef",
+    "ShardedExecutor",
+    "ShardError",
+    "ShardSchedule",
+    "StreamShard",
 ]

@@ -16,13 +16,13 @@ MDNet-class backends).
 from __future__ import annotations
 
 import copy
-import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
 
 from ..isp.pipeline import ISPConfig, ISPPipeline
 from ..motion.block_matching import BlockMatchingConfig
 from .backends import InferenceBackend
+from .executor import ExecutionSpec, ShardedExecutor, ShardSchedule
 from .session import (
     DISAGREEMENT_IOU_FLOOR,
     EuphratesSession,
@@ -63,6 +63,10 @@ class EuphratesPipeline:
         self.backend = backend
         self.window_controller = window_controller or ConstantWindowController(2)
         self.config = config or EuphratesConfig()
+        #: How dataset/stream work is executed (worker count, frame
+        #: transport); :meth:`PipelineSpec.build` installs the spec's knobs
+        #: here.  Never affects outputs, only where sessions run.
+        self.execution = ExecutionSpec()
         #: Total extrapolation operations across all processed frames (every
         #: session this pipeline opened contributes at finish).
         self.total_extrapolation_ops = 0.0
@@ -122,6 +126,8 @@ class EuphratesPipeline:
         *,
         source: "VideoSequence | None" = None,
         name: Optional[str] = None,
+        oracle_name: Optional[str] = None,
+        oracle_labels: Optional[Dict[int, str]] = None,
         backend: Optional[InferenceBackend] = None,
         window_controller: Optional[WindowController] = None,
         share_engines: bool = False,
@@ -138,7 +144,11 @@ class EuphratesPipeline:
         * ``open_session(width, height)`` opens a dimension-bound live
           stream: per-frame ground truth is handed to
           :meth:`EuphratesSession.submit` and collected in a
-          :class:`~repro.core.session.StreamOracle`.
+          :class:`~repro.core.session.StreamOracle`.  ``oracle_name`` (and
+          optionally ``oracle_labels``) lets the oracle present a different
+          identity than the session — worker shards use this to replay a
+          named sequence frame-by-frame so simulated backends seeded by
+          sequence name produce bit-identical outputs.
 
         By default every session gets its *own* ISP, extrapolator, backend
         copy and window-controller clone, so any number of sessions can run
@@ -149,6 +159,11 @@ class EuphratesPipeline:
         time.
         """
         if source is not None:
+            if oracle_name is not None or oracle_labels is not None:
+                raise ValueError(
+                    "oracle_name/oracle_labels apply to live (width/height) "
+                    "sessions only; a source sequence carries its own identity"
+                )
             width = source.width
             height = source.height
             name = name or source.name
@@ -160,7 +175,9 @@ class EuphratesPipeline:
         oracle: Optional[StreamOracle] = None
         backend_source: object = source
         if source is None:
-            oracle = StreamOracle(name, width, height)
+            oracle = StreamOracle(
+                oracle_name or name, width, height, labels=oracle_labels
+            )
             backend_source = oracle
 
         if share_engines:
@@ -181,6 +198,12 @@ class EuphratesPipeline:
             session_backend = self.backend
             controller = self.window_controller
         else:
+            if backend is self.backend:
+                raise ValueError(
+                    "backend is this pipeline's own engine; standalone "
+                    "sessions (and shards) must never share a live backend — "
+                    "open with share_engines=True or pass a copy"
+                )
             isp = ISPPipeline(self._isp_config())
             extrapolator = MotionExtrapolator(
                 self.config.extrapolation, frame_width=width, frame_height=height
@@ -250,29 +273,71 @@ class EuphratesPipeline:
         self,
         dataset: "Dataset | Iterable[VideoSequence]",
         max_workers: Optional[int] = None,
+        *,
+        transport: Optional[str] = None,
     ) -> List[SequenceResult]:
         """Process every sequence of a dataset.
 
-        With ``max_workers`` > 1 the sequences are distributed over a pool
-        of worker processes, each running a pickled copy of this pipeline.
-        Results come back in dataset order and extrapolation-op totals are
-        aggregated.  Adaptive-window feedback stays local to each worker:
-        every sequence adapts within itself but starts from this pipeline's
-        current controller state, whereas the serial path chains controller
-        state from one sequence into the next — so adaptive-mode results can
-        differ between serial and parallel runs (constant-window results are
-        identical).
+        ``max_workers`` and ``transport`` default to this pipeline's
+        :class:`~repro.core.executor.ExecutionSpec` (``pipeline.execution``,
+        installed by ``PipelineSpec.build``).  With more than one worker the
+        sequences run on a :class:`~repro.core.executor.ShardedExecutor`:
+        each shard worker owns its sessions end-to-end and frames cross the
+        process boundary over the shared-memory transport, never pickled.
+        ``transport="pickle"`` selects the legacy ``ProcessPoolExecutor``
+        fallback instead (sequences rebuilt in-worker from their generator
+        configs where available).
+
+        Results come back in dataset order, with per-frame telemetry, and
+        extrapolation-op totals are aggregated — bit-identical to the serial
+        path for constant windows (property-tested).  Adaptive-window
+        feedback stays local to each parallel worker: every sequence adapts
+        within itself but starts from a fresh controller clone, whereas the
+        serial path chains controller state from one sequence into the next
+        — so adaptive-mode results can differ between serial and parallel
+        runs (constant-window results are identical).
         """
         sequences = dataset.sequences if hasattr(dataset, "sequences") else list(dataset)
+        execution = self.execution
+        if max_workers is None:
+            max_workers = execution.workers
+        if transport is None:
+            transport = execution.transport
         if max_workers is None or max_workers <= 1 or len(sequences) <= 1:
             return [self.run(sequence) for sequence in sequences]
 
+        workers = min(max_workers, len(sequences))
+        if transport == "pickle":
+            return self._run_dataset_legacy(sequences, workers)
+        executor = ShardedExecutor(
+            self,
+            workers=workers,
+            transport=transport,
+            schedule=ShardSchedule(keep_telemetry=True),
+        )
+        try:
+            outcomes = executor.run_sequences(sequences)
+        finally:
+            executor.close()
+        return [result for result, _stats in outcomes]
+
+    def _run_dataset_legacy(
+        self, sequences: List["VideoSequence"], workers: int
+    ) -> List[SequenceResult]:
+        """Whole-sequence ``ProcessPoolExecutor`` fallback (``transport="pickle"``).
+
+        Jobs ship a sequence *handle* — the generator config when the
+        sequence remembers one — so synthetic frame stacks are rebuilt
+        in-worker instead of being pickled through the pool.
+        """
         from concurrent.futures import ProcessPoolExecutor
 
-        workers = min(max_workers, len(sequences))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             outcomes = list(
-                pool.map(_run_sequence_job, [(self, sequence) for sequence in sequences])
+                pool.map(
+                    _run_sequence_job,
+                    [(self, _sequence_handle(sequence)) for sequence in sequences],
+                )
             )
         results = []
         for result, extrapolation_ops in outcomes:
@@ -284,6 +349,8 @@ class EuphratesPipeline:
         self,
         dataset: "Dataset | Iterable[VideoSequence]",
         max_workers: Optional[int] = None,
+        *,
+        transport: Optional[str] = None,
     ) -> DatasetRunResult:
         """Like :meth:`run_dataset`, but return a :class:`DatasetRunResult`.
 
@@ -292,7 +359,9 @@ class EuphratesPipeline:
         self-contained object per swept pipeline configuration.
         """
         ops_before = self.total_extrapolation_ops
-        sequences = self.run_dataset(dataset, max_workers=max_workers)
+        sequences = self.run_dataset(
+            dataset, max_workers=max_workers, transport=transport
+        )
         return DatasetRunResult(
             sequences=sequences,
             extrapolation_ops=self.total_extrapolation_ops - ops_before,
@@ -314,52 +383,36 @@ class EuphratesPipeline:
         return measure_disagreement(inferred, predicted, cls.DISAGREEMENT_IOU_FLOOR)
 
 
+def _sequence_handle(sequence: "VideoSequence"):
+    """Smallest picklable stand-in for a sequence in a legacy pool job.
+
+    Synthetic sequences remember their :class:`SequenceConfig`; shipping
+    the config (a few hundred bytes) and regenerating in-worker avoids
+    pickling the whole frame stack.  Sequences without a config — or whose
+    recorded config no longer matches (someone renamed/retrimmed the
+    object) — fall back to shipping the sequence itself.
+    """
+    config = getattr(sequence, "source_config", None)
+    if (
+        config is not None
+        and config.name == sequence.name
+        and config.num_frames == sequence.num_frames
+        and config.frame_width == sequence.width
+        and config.frame_height == sequence.height
+    ):
+        return ("config", config)
+    return ("sequence", sequence)
+
+
 def _run_sequence_job(payload):
-    """Top-level worker for process-parallel :meth:`EuphratesPipeline.run_dataset`."""
-    pipeline, sequence = payload
+    """Top-level worker for the legacy pool path of :meth:`run_dataset`."""
+    pipeline, (kind, data) = payload
+    if kind == "config":
+        from ..video.synthetic import SequenceGenerator
+
+        sequence = SequenceGenerator(data).generate()
+    else:
+        sequence = data
     pipeline.total_extrapolation_ops = 0.0
     result = pipeline.run(sequence)
     return result, pipeline.total_extrapolation_ops
-
-
-# ----------------------------------------------------------------------
-# Deprecated convenience factory (use PipelineSpec instead)
-# ----------------------------------------------------------------------
-def build_pipeline(
-    backend: InferenceBackend,
-    extrapolation_window: int | str = 2,
-    block_size: int = 16,
-    search_range: int = 7,
-    exhaustive_search: bool = False,
-    search_policy: str = "pruned",
-    sub_roi_grid: tuple = (2, 2),
-    expose_motion_vectors: bool = True,
-) -> EuphratesPipeline:
-    """Deprecated: assemble a pipeline from loose keyword arguments.
-
-    This is a compatibility shim over :class:`~repro.core.spec.PipelineSpec`
-    — it keeps the pre-spec signature (including positional use, unknown
-    keywords raising :class:`TypeError` and invalid values raising
-    :class:`ValueError`) while building a spec internally.  One deliberate
-    relaxation: numeric window strings (``"3"``) are now accepted, like
-    everywhere a spec is parsed.  Prefer::
-
-        from repro import PipelineSpec
-        pipeline = PipelineSpec(extrapolation_window=2).build(backend)
-    """
-    from .spec import PipelineSpec
-
-    warnings.warn(
-        "build_pipeline() is deprecated; use PipelineSpec(...).build(backend)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return PipelineSpec.from_kwargs(
-        extrapolation_window=extrapolation_window,
-        block_size=block_size,
-        search_range=search_range,
-        exhaustive_search=exhaustive_search,
-        search_policy=search_policy,
-        sub_roi_grid=sub_roi_grid,
-        expose_motion_vectors=expose_motion_vectors,
-    ).build(backend)

@@ -36,7 +36,7 @@ backends consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -164,12 +164,23 @@ class StreamOracle:
     #: (diagnostics) working while bounding memory.
     TRUTH_WINDOW = 8
 
-    def __init__(self, name: str, width: int, height: int, fps: float = 60.0) -> None:
+    def __init__(
+        self,
+        name: str,
+        width: int,
+        height: int,
+        fps: float = 60.0,
+        *,
+        labels: Optional[Dict[int, str]] = None,
+    ) -> None:
         self.name = name
         self.width = int(width)
         self.height = int(height)
         self.fps = fps
-        self.labels: Dict[int, str] = {}
+        #: Object-id -> class-label map.  Grows as truth is observed; may be
+        #: primed up front (worker shards replaying a known sequence prime
+        #: it with the sequence's full label map).
+        self.labels: Dict[int, str] = dict(labels or {})
         self._truth: Dict[int, List[Detection]] = {}
         self._next_frame = 0
         self._primary_object_id: Optional[int] = None

@@ -17,8 +17,11 @@ single hashable value object:
   round-trip a spec through the command line, so a result's provenance can be
   reproduced by pasting the printed flags back into the harness.
 
-``build_pipeline(**old_kwargs)`` survives as a deprecation shim that builds a
-spec internally.
+The spec also carries *execution* knobs (``workers``, ``transport``) that
+select where sessions run — serial, or sharded over worker processes via
+:class:`~repro.core.executor.ShardedExecutor`.  Execution knobs never change
+outputs (sharded results are bit-identical to serial, property-tested), so
+they are excluded from :meth:`PipelineSpec.cache_key`.
 """
 
 from __future__ import annotations
@@ -89,6 +92,13 @@ class PipelineSpec:
     #: dedicated motion-controller IP (``mc``) or software on the CPU
     #: cluster (``cpu``, the Fig. 9b EW-N@CPU baseline).
     extrapolation_host: str = "mc"
+    #: Worker shards for dataset runs and the stream multiplexer; 1 keeps
+    #: everything in-process (the bit-identical serial path).
+    workers: int = 1
+    #: Frame transport between client and shards: ``auto`` (shared memory
+    #: when workers > 1), ``shm``, ``inproc``, or ``pickle`` (the legacy
+    #: whole-sequence ProcessPoolExecutor fallback in ``run_dataset``).
+    transport: str = "auto"
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -115,6 +125,10 @@ class PipelineSpec:
         from ..soc.config import resolve_soc_config
 
         resolve_soc_config(self.soc_config)
+        # Execution knobs share the executor's validation.
+        from .executor import ExecutionSpec
+
+        ExecutionSpec(workers=self.workers, transport=self.transport)
 
     # ------------------------------------------------------------------
     # Alternate constructors
@@ -218,6 +232,26 @@ class PipelineSpec:
             "motion-controller IP or software on the CPU cluster "
             f"(default: {defaults.extrapolation_host})",
         )
+        # Named --exec-workers (not --workers): harness tools own a
+        # --workers flag of their own for dataset-level parallelism.
+        parser.add_argument(
+            "--exec-workers",
+            dest="spec_workers",
+            type=int,
+            default=defaults.workers,
+            help="worker shards for dataset runs and stream serving; 1 stays "
+            f"in-process (default: {defaults.workers})",
+        )
+        from .executor import TRANSPORTS
+
+        parser.add_argument(
+            "--transport",
+            dest="spec_transport",
+            choices=list(TRANSPORTS),
+            default=defaults.transport,
+            help="frame transport between client and worker shards "
+            f"(default: {defaults.transport})",
+        )
 
     @classmethod
     def from_cli_args(cls, args: argparse.Namespace) -> "PipelineSpec":
@@ -241,6 +275,8 @@ class PipelineSpec:
             expose_motion_vectors=args.spec_expose_motion_vectors,
             soc_config=args.spec_soc_config,
             extrapolation_host=args.spec_extrapolation_host,
+            workers=getattr(args, "spec_workers", cls().workers),
+            transport=getattr(args, "spec_transport", cls().transport),
         )
 
     # ------------------------------------------------------------------
@@ -273,13 +309,21 @@ class PipelineSpec:
             tokens += ["--soc-config", self.soc_config]
         if self.extrapolation_host != defaults.extrapolation_host:
             tokens += ["--extrapolation-host", self.extrapolation_host]
+        if self.workers != defaults.workers:
+            tokens += ["--exec-workers", str(self.workers)]
+        if self.transport != defaults.transport:
+            tokens += ["--transport", self.transport]
         return tokens
 
     def cache_key(self) -> Tuple[object, ...]:
         """A stable hashable key identifying this configuration.
 
-        The harness stores sweep results under this key; two specs compare
-        equal exactly when their cache keys do.
+        The harness stores sweep results under this key.  Execution knobs
+        (``workers``, ``transport``) are deliberately excluded: they select
+        where sessions run, never what they compute (sharded output is
+        bit-identical to serial, property-tested), so results are shared
+        across execution modes.  Two specs that agree on every *algorithmic*
+        knob therefore share a key even if their execution knobs differ.
         """
         return (
             str(self.extrapolation_window),
@@ -310,6 +354,8 @@ class PipelineSpec:
             label += f"/soc:{self.soc_config}"
         if self.extrapolation_host != "mc":
             label += f"/ew@{self.extrapolation_host}"
+        if self.workers != 1:
+            label += f"/x{self.workers}"
         return label
 
     # ------------------------------------------------------------------
@@ -343,13 +389,18 @@ class PipelineSpec:
 
     def build(self, backend: "InferenceBackend") -> "EuphratesPipeline":
         """Assemble a ready-to-run pipeline around ``backend``."""
+        from .executor import ExecutionSpec
         from .pipeline import EuphratesPipeline
 
-        return EuphratesPipeline(
+        pipeline = EuphratesPipeline(
             backend=backend,
             window_controller=self.window_controller(),
             config=self.euphrates_config(),
         )
+        pipeline.execution = ExecutionSpec(
+            workers=self.workers, transport=self.transport
+        )
+        return pipeline
 
     def with_window(self, window: Union[int, str]) -> "PipelineSpec":
         """This spec with a different extrapolation window (sweep helper)."""

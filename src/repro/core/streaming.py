@@ -1,4 +1,4 @@
-"""Multi-stream scheduling: N concurrent camera sessions over one pipeline.
+"""Multi-stream serving: N concurrent camera sessions over one pipeline.
 
 Always-on vision SoCs serve several cameras at once (Starfish, MobiSys'15
 makes the case for first-class concurrent-stream support).  The
@@ -9,51 +9,58 @@ makes the case for first-class concurrent-stream support).  The
 * each stream has its own frame queue (frames are pushed as they "arrive"),
   its own backend copy and its own window-controller clone, so streams never
   contaminate each other's algorithm state;
-* a fair-share scheduler drains the queues: cheap E-frames (motion
-  extrapolation only) are interleaved round-robin so no stream starves,
-  while expensive I-frames (full CNN inference) are gathered across streams
-  and dispatched in batches — the access pattern a real accelerator wants,
-  since weights stay resident across a batch; an alternative
-  energy/deadline-aware policy (``policy="energy"``) defers I-frames within
-  a backlog deadline to build full batches and serves the deepest queues
-  first;
-* per-stream and aggregate throughput/latency statistics are tracked as
-  scheduling happens, feeding ``benchmarks/run_stream_bench.py``; with an
-  attached energy model (``soc`` + ``network``) each stream's frames are
-  priced on the modeled SoC as they are processed, including amortised
-  weight traffic across batched I-frames.
+* scheduling is delegated to the shared execution core
+  (:class:`~repro.core.executor.ShardedExecutor`): the fair-share and
+  energy/deadline policies run shard-local, so the same scheduler serves
+  the in-process single-shard path and ``workers=N`` worker processes
+  (frames then cross the process boundary over the zero-copy shared-memory
+  transport, never pickled);
+* per-stream and aggregate throughput/latency statistics are tracked from
+  the executor's per-frame records, feeding
+  ``benchmarks/run_stream_bench.py``; with an attached energy model
+  (``soc`` + ``network``) each stream's frames are priced on the modeled
+  SoC as they are processed — including amortised weight traffic across
+  batched I-frames — and a :class:`~repro.soc.frame_cost.SharedSoCPool`
+  settles the shared static-power terms exactly once across all streams.
 
 Because sessions are fully isolated, the per-stream results are bit-identical
-to running each sequence through its own pipeline — scheduling order affects
-latency, never output (property-tested in ``tests/test_streaming.py``).
+to running each sequence through its own pipeline — scheduling order and
+worker count affect latency, never output (property-tested in
+``tests/test_streaming.py`` and ``tests/test_executor.py``).
 """
 
 from __future__ import annotations
 
 import time
-from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .session import EuphratesSession
+from .executor import (
+    SCHEDULING_POLICIES,
+    FrameRecord,
+    ShardedExecutor,
+    ShardSchedule,
+)
 from .types import Detection, FrameKind, SequenceResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..nn.models import NetworkSpec
-    from ..soc.frame_cost import CostMeter
+    from ..soc.config import SoCConfig
+    from ..soc.frame_cost import CostMeter, QueueingEstimate
     from ..soc.soc import EnergyBreakdown, VisionSoC
     from ..video.sequence import VideoSequence
     from .backends import InferenceBackend
     from .pipeline import EuphratesPipeline
     from .window import WindowController
 
-
-#: Scheduling policies: ``fair`` is the round-robin fair-share scheduler;
-#: ``energy`` defers I-frames (within a deadline) to build full inference
-#: batches, maximising NNX weight reuse, and serves the deepest queues first.
-SCHEDULING_POLICIES = ("fair", "energy")
+__all__ = [
+    "SCHEDULING_POLICIES",
+    "MultiplexerReport",
+    "StreamMultiplexer",
+    "StreamStats",
+]
 
 
 @dataclass
@@ -112,6 +119,15 @@ class MultiplexerReport:
     #: that camera's frames on the modeled SoC — I-frames dispatched in a
     #: batch of k amortise the NNX weight traffic over k streams.
     stream_energy: Dict[str, "EnergyBreakdown"] = field(default_factory=dict)
+    #: Exact shared-SoC aggregate: static power (NNX idle, DRAM background,
+    #: MC idle) settled once across all streams instead of once per stream.
+    #: ``None`` when no energy model is attached.
+    shared_energy: "EnergyBreakdown | None" = None
+    #: M/D/1 queueing view of the shared backend serving every stream.
+    queueing: "QueueingEstimate | None" = None
+    #: Execution configuration the run used (for benchmark provenance).
+    workers: int = 1
+    transport: str = "inproc"
 
     @property
     def aggregate_fps(self) -> float:
@@ -123,20 +139,28 @@ class MultiplexerReport:
             return 0.0
         return sum(self.batch_sizes) / len(self.batch_sizes)
 
-    # -- energy aggregates (empty dict => no energy model attached) -----
+    # -- energy aggregates (no energy model => zeros) -------------------
     #
     # Each stream's breakdown prices that camera as if it owned the whole
-    # modeled SoC, so the sums below count per-SoC *static* power (NNX
-    # idle, DRAM background, MC idle) once per stream.  The sensor + ISP
-    # really are per-camera, but on a single shared SoC the accelerator/
-    # memory static terms would be paid once — making these aggregates an
-    # upper bound for the shared-SoC deployment (the dynamic terms,
-    # including cross-stream weight-batch amortisation, are exact).  A
-    # first-class shared-SoC aggregate model is a ROADMAP item.
+    # modeled SoC.  Summing them therefore counts per-SoC *static* power
+    # (NNX idle, DRAM background, MC idle) once per stream — the historical
+    # upper bound, still available as ``aggregate_energy_upper_bound_j``.
+    # ``shared_energy`` settles those terms exactly once on the shared SoC
+    # (dynamic terms, including cross-stream weight-batch amortisation,
+    # are identical in both), so the aggregates below report the exact
+    # figure whenever an energy model is attached: always <= the upper
+    # bound, equal for a single stream.
+    @property
+    def aggregate_energy_upper_bound_j(self) -> float:
+        """Per-stream-sum energy: static power counted once per stream."""
+        return sum(b.total_energy_j for b in self.stream_energy.values())
+
     @property
     def aggregate_energy_j(self) -> float:
-        """Total modeled energy, summed over per-stream (own-SoC) meters."""
-        return sum(b.total_energy_j for b in self.stream_energy.values())
+        """Total modeled energy (exact shared-SoC figure when metered)."""
+        if self.shared_energy is not None:
+            return self.shared_energy.total_energy_j
+        return self.aggregate_energy_upper_bound_j
 
     @property
     def aggregate_energy_per_frame_j(self) -> float:
@@ -148,51 +172,51 @@ class MultiplexerReport:
     @property
     def aggregate_power_w(self) -> float:
         """Aggregate power: streams run concurrently in model time, so the
-        denominator is the longest per-stream wall clock, not the sum (see
-        the static-power caveat above — upper bound for one shared SoC)."""
+        denominator is the longest per-stream wall clock, not the sum."""
         wall = max((b.wall_time_s for b in self.stream_energy.values()), default=0.0)
         if wall <= 0:
             return 0.0
         return self.aggregate_energy_j / wall
 
 
-class _Stream:
-    """Internal per-stream record: session + queue + stats (+ cost meter)."""
+class _MuxStream:
+    """Client-side per-stream record: stats + cost meter (+ result)."""
 
     def __init__(
         self,
         stream_id: str,
-        session: EuphratesSession,
+        multiplexer: "StreamMultiplexer",
         meter: "CostMeter | None" = None,
     ) -> None:
         self.stream_id = stream_id
-        self.session = session
-        #: Queue of (frame, truth, force_inference, enqueue_time).
-        self.queue: Deque[Tuple[np.ndarray, Optional[Sequence[Detection]], bool, float]] = deque()
+        self._multiplexer = multiplexer
         self.stats = StreamStats(name=stream_id)
         self.result: Optional[SequenceResult] = None
         #: Per-stream SoC cost meter (None when no energy model is attached).
         self.meter = meter
-        #: Scheduling rounds this stream's head frame has sat as a deferred
-        #: I-frame (energy policy's age-based deadline).
-        self.i_head_rounds = 0
+
+    # -- diagnostics (in-process execution only) ------------------------
+    @property
+    def session(self):
+        """The live session object (single-shard in-process mode only)."""
+        return self._core_stream().session
 
     @property
-    def drained(self) -> bool:
-        return not self.queue
+    def queue(self):
+        """The live frame queue (single-shard in-process mode only)."""
+        return self._core_stream().queue
 
-    def head_kind(self) -> Optional[FrameKind]:
-        """Predicted frame kind of the next queued frame (None when empty)."""
-        if not self.queue:
-            return None
-        _, _, force, _ = self.queue[0]
-        if force:
-            return FrameKind.INFERENCE
-        return self.session.next_frame_kind()
+    def _core_stream(self):
+        shard = self._multiplexer._executor.shard_of(self.stream_id)
+        if shard.is_process:
+            raise AttributeError(
+                "stream internals live in a worker process when workers > 1"
+            )
+        return shard.core.stream(self.stream_id)
 
 
 class StreamMultiplexer:
-    """Fair-share scheduler for N concurrent Euphrates camera streams.
+    """Scheduler frontend for N concurrent Euphrates camera streams.
 
     ``e_frame_burst`` bounds how many consecutive E-frames one stream may
     process per scheduling round (fairness knob: a stream with a deep queue
@@ -209,13 +233,20 @@ class StreamMultiplexer:
     energy attribution, never outputs — sessions are fully isolated, so
     per-stream results are bit-identical under every policy.
 
+    ``workers`` shards the streams over that many worker processes, each
+    owning its sessions end-to-end (the scheduling policies run shard-local
+    and frames cross over the shared-memory ``transport``); the default of
+    1 keeps everything in-process.  Worker count never changes outputs.
+
     Passing an energy model (``soc`` + ``network``) attaches one
     :class:`~repro.soc.frame_cost.CostMeter` per stream: every processed
-    frame's telemetry is drained from its session and priced as it
-    happens, with batched I-frames amortising the weight DRAM traffic over
-    the batch.  :meth:`report` then carries per-stream
-    :class:`~repro.soc.soc.EnergyBreakdown` objects plus aggregate
-    power/energy-per-frame statistics.  Metering is observe-only.
+    frame's telemetry is priced as it happens, with batched I-frames
+    amortising the weight DRAM traffic over the batch.  The meters hang
+    off a :class:`~repro.soc.frame_cost.SharedSoCPool`, so :meth:`report`
+    carries both per-stream breakdowns and the exact shared-static-power
+    aggregate (plus an M/D/1 queueing estimate).  Streams may override the
+    modeled capture setting per camera via ``add_stream(soc_config=...)``.
+    Metering is observe-only.
     """
 
     def __init__(
@@ -229,17 +260,15 @@ class StreamMultiplexer:
         soc: "VisionSoC | None" = None,
         network: "NetworkSpec | None" = None,
         extrapolation_on_cpu: bool = False,
+        workers: int = 1,
+        transport: str = "auto",
     ) -> None:
-        if e_frame_burst < 1:
-            raise ValueError("e_frame_burst must be >= 1")
-        if max_inference_batch < 1:
-            raise ValueError("max_inference_batch must be >= 1")
-        if policy not in SCHEDULING_POLICIES:
-            raise ValueError(
-                f"unknown policy '{policy}' (expected one of {SCHEDULING_POLICIES})"
-            )
-        if deadline_frames < 1:
-            raise ValueError("deadline_frames must be >= 1")
+        schedule = ShardSchedule(
+            policy=policy,
+            e_frame_burst=e_frame_burst,
+            max_inference_batch=max_inference_batch,
+            deadline_frames=deadline_frames,
+        )
         if (soc is None) != (network is None):
             raise ValueError("energy metering needs both soc and network")
         self.pipeline = pipeline
@@ -247,16 +276,28 @@ class StreamMultiplexer:
         self.max_inference_batch = max_inference_batch
         self.policy = policy
         self.deadline_frames = deadline_frames
-        self._soc = soc
+        self._executor = ShardedExecutor(
+            pipeline, workers=workers, transport=transport, schedule=schedule
+        )
         self._network = network
+        self._pool = soc.open_pool() if soc is not None else None
         #: E-frame pricing host for the attached meters (the EW-N@CPU
         #: software baseline when True).
         self._extrapolation_on_cpu = extrapolation_on_cpu
-        self._streams: Dict[str, _Stream] = {}
+        self._streams: Dict[str, _MuxStream] = {}
         self._order: List[str] = []
-        self._rr_offset = 0
         self._batch_sizes: List[int] = []
+        #: I-frame batches already counted (record batch ids are per-shard).
+        self._seen_batches: set = set()
         self._wall_s = 0.0
+
+    @property
+    def workers(self) -> int:
+        return self._executor.workers
+
+    @property
+    def transport_mode(self) -> str:
+        return self._executor.transport_mode
 
     # ------------------------------------------------------------------
     # Stream management
@@ -270,12 +311,16 @@ class StreamMultiplexer:
         height: Optional[int] = None,
         backend: "InferenceBackend | None" = None,
         window_controller: "WindowController | None" = None,
+        soc_config: "str | SoCConfig | None" = None,
     ) -> str:
         """Register a stream and return its id (the session name).
 
         Pass ``source`` for a sequence-bound stream (ground truth comes from
         the sequence) or ``width``/``height`` for a live stream whose truth
-        arrives per frame via :meth:`submit`.
+        arrives per frame via :meth:`submit`.  ``soc_config`` prices this
+        stream's frames on a different modeled capture setting than the
+        shared SoC (heterogeneous cameras on one backend); it needs the
+        energy model attached.
         """
         if name is None:
             base = source.name if source is not None else "stream"
@@ -286,22 +331,34 @@ class StreamMultiplexer:
                 suffix += 1
         if name in self._streams:
             raise ValueError(f"stream '{name}' already exists")
-        session = self.pipeline.open_session(
-            width,
-            height,
-            source=source,
-            name=name,
-            backend=backend,
-            window_controller=window_controller,
-        )
         meter = None
-        if self._soc is not None:
-            meter = self._soc.open_meter(
+        if soc_config is not None and self._pool is None:
+            raise ValueError(
+                "per-stream soc_config needs an energy model (soc and network)"
+            )
+        if self._pool is not None:
+            stream_soc = None
+            if soc_config is not None:
+                from ..soc.config import resolve_soc_config
+                from ..soc.soc import VisionSoC
+
+                stream_soc = VisionSoC(resolve_soc_config(soc_config))
+            meter = self._pool.open_meter(
                 self._network,
+                soc=stream_soc,
                 extrapolation_on_cpu=self._extrapolation_on_cpu,
                 label=name,
             )
-        self._streams[name] = _Stream(name, session, meter=meter)
+        self._executor.open_stream(
+            name,
+            source=source,
+            name=name,
+            width=width,
+            height=height,
+            backend=backend,
+            window_controller=window_controller,
+        )
+        self._streams[name] = _MuxStream(name, self, meter=meter)
         self._order.append(name)
         return name
 
@@ -312,7 +369,7 @@ class StreamMultiplexer:
     def stats_for(self, stream_id: str) -> StreamStats:
         return self._stream(stream_id).stats
 
-    def _stream(self, stream_id: str) -> _Stream:
+    def _stream(self, stream_id: str) -> _MuxStream:
         try:
             return self._streams[stream_id]
         except KeyError:
@@ -331,16 +388,20 @@ class StreamMultiplexer:
     ) -> None:
         """Enqueue one captured frame for ``stream_id`` (non-blocking).
 
-        The frame is copied: live capture loops typically reuse one buffer
-        per capture, which would otherwise silently rewrite every frame
-        still sitting in the queue.
+        The frame is copied out of the caller's buffer (into a queue copy
+        in-process, into a shared-memory slot under worker shards): live
+        capture loops typically reuse one buffer per capture, which would
+        otherwise silently rewrite every frame still in flight.
         """
         stream = self._stream(stream_id)
-        stream.queue.append(
-            (np.array(frame, copy=True), truth, force_inference, time.perf_counter())
+        self._executor.submit(
+            stream_id, frame, truth=truth, force_inference=force_inference
         )
-        stream.stats.frames_submitted += 1
-        stream.stats.max_queue_depth = max(stream.stats.max_queue_depth, len(stream.queue))
+        stats = stream.stats
+        stats.frames_submitted += 1
+        stats.max_queue_depth = max(
+            stats.max_queue_depth, self._executor.pending_for(stream_id)
+        )
 
     def feed_sequence(self, stream_id: str, sequence: "VideoSequence") -> None:
         """Enqueue every frame of ``sequence`` on ``stream_id``."""
@@ -349,142 +410,43 @@ class StreamMultiplexer:
 
     @property
     def pending_frames(self) -> int:
-        return sum(len(stream.queue) for stream in self._streams.values())
+        return self._executor.pending_frames
 
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def _process_head(self, stream: _Stream, batch_size: int = 1) -> FrameKind:
-        frame, truth, force, enqueued_at = stream.queue.popleft()
-        start = time.perf_counter()
-        try:
-            result = stream.session.submit(frame, truth=truth, force_inference=force)
-        except BaseException:
-            # Put the frame back so the stream stays aligned with its queue
-            # and the caller can retry (the session rolls itself back for
-            # pre-ISP failures, e.g. missing first-frame truth).
-            stream.queue.appendleft((frame, truth, force, enqueued_at))
-            raise
-        elapsed = time.perf_counter() - start
-        stats = stream.stats
-        stats.busy_s += elapsed
-        stats.wait_s += max(0.0, start - enqueued_at)
-        # Frame/I/E counts mirror the session's own accounting (the single
-        # source of truth) instead of being tracked twice.
-        session_stats = stream.session.stats
-        stats.frames_processed = session_stats.frames
-        stats.inference_frames = session_stats.inference_frames
-        stats.extrapolation_frames = session_stats.extrapolation_frames
-        # Drain the session's telemetry even when no meter consumes it:
-        # always-on streams never finish(), so leaving events to accumulate
-        # would grow memory for the lifetime of the camera.
-        events = stream.session.take_telemetry()
-        if stream.meter is not None:
-            # Price what actually happened, as it happens.
-            for event in events:
-                stream.meter.record(event, batch_size=batch_size)
-        return result.kind
-
-    def _round_robin(self) -> List[_Stream]:
-        """Streams in this round's fair-share order (rotating start)."""
-        active = [self._streams[name] for name in self._order]
-        if not active:
-            return []
-        offset = self._rr_offset % len(active)
-        self._rr_offset += 1
-        return active[offset:] + active[:offset]
-
-    def _deadline_breached(self, stream: _Stream) -> bool:
-        """Whether a stream's head I-frame can no longer wait for a fuller batch.
-
-        Two triggers: backlog depth (a fast camera filling its queue) and
-        age in scheduling rounds (a slow camera whose lone I-frame would
-        otherwise be deferred forever while other streams keep the pump
-        busy with E-frames).
-        """
-        return (
-            len(stream.queue) >= self.deadline_frames
-            or stream.i_head_rounds >= self.deadline_frames
-        )
+    def _absorb(self, records: List[FrameRecord]) -> int:
+        for record in records:
+            stream = self._streams[record.key]
+            stats = stream.stats
+            stats.frames_processed += 1
+            if record.kind is FrameKind.INFERENCE:
+                stats.inference_frames += 1
+            else:
+                stats.extrapolation_frames += 1
+            stats.busy_s += record.busy_s
+            stats.wait_s += record.wait_s
+            if record.batch_id >= 0:
+                batch = (record.shard, record.batch_id)
+                if batch not in self._seen_batches:
+                    self._seen_batches.add(batch)
+                    self._batch_sizes.append(record.batch_size)
+            if stream.meter is not None and record.telemetry is not None:
+                # Price what actually happened, as it happens.
+                stream.meter.record(record.telemetry, batch_size=record.batch_size)
+        return len(records)
 
     def pump(self) -> int:
         """Run one scheduling round; return the number of frames processed.
 
-        A round has two phases:
-
-        1. **E-phase** — walk the streams in policy order (round-robin for
-           ``fair``, deepest-backlog-first for ``energy``), letting each
-           process up to ``e_frame_burst`` queued frames as long as the
-           session predicts they are cheap E-frames.
-        2. **I-phase** — gather the streams whose next frame needs full
-           inference and dispatch up to ``max_inference_batch`` of them
-           back-to-back as one batch (weights stay resident across the
-           batch on a real accelerator).  The ``energy`` policy defers a
-           partial batch to a later round — unless a gathered stream
-           breaches its deadline (queue depth or rounds-deferred reaching
-           ``deadline_frames``), or nothing else was processed this round
-           (so progress is always guaranteed, and a lone I-frame on a
-           stalled camera cannot starve behind other streams' E-traffic).
-
-        Mis-predictions are benign: the authoritative I/E decision is made
-        inside ``session.submit`` exactly as in the batch pipeline.
+        In-process this executes one round of the shard's two-phase
+        scheduler (E-bursts, then one batched-I dispatch — see
+        :class:`~repro.core.executor.StreamShard`); with worker shards it
+        absorbs whatever frame records the workers have produced since the
+        last call (they pump continuously on their own).
         """
         round_start = time.perf_counter()
-        processed = 0
-        if self.policy == "energy":
-            # Deadline pressure first: the deepest backlog is the stream
-            # closest to missing its (frame-budget) deadline.
-            order = sorted(
-                (self._streams[name] for name in self._order),
-                key=lambda stream: -len(stream.queue),
-            )
-        else:
-            # One rotation per round (shared by both phases), so the lead
-            # position really cycles over every stream.
-            order = self._round_robin()
-
-        for stream in order:
-            burst = 0
-            while (
-                burst < self.e_frame_burst
-                and stream.queue
-                and stream.head_kind() is FrameKind.EXTRAPOLATION
-            ):
-                self._process_head(stream)
-                processed += 1
-                burst += 1
-
-        batch = [
-            stream
-            for stream in order
-            if stream.queue and stream.head_kind() is FrameKind.INFERENCE
-        ]
-        if batch and self.policy == "energy":
-            for stream in batch:
-                stream.i_head_rounds += 1
-            dispatch = (
-                len(batch) >= self.max_inference_batch
-                or any(self._deadline_breached(stream) for stream in batch)
-                or processed == 0
-            )
-            if not dispatch:
-                batch = []
-            else:
-                # Most-overdue heads board first (age, then queue depth):
-                # the batch is about to be truncated, and the whole point
-                # of the deadline is that an aged head cannot keep losing
-                # its seat to deeper queues round after round.
-                batch.sort(
-                    key=lambda stream: (-stream.i_head_rounds, -len(stream.queue))
-                )
-        batch = batch[: self.max_inference_batch]
-        if batch:
-            self._batch_sizes.append(len(batch))
-            for stream in batch:
-                stream.i_head_rounds = 0
-                self._process_head(stream, batch_size=len(batch))
-                processed += 1
-
+        processed = self._absorb(self._executor.pump())
         # Wall time accumulates per round, so callers driving the scheduler
         # through pump() directly (an always-on loop that can never drain)
         # still get meaningful aggregate throughput from report().
@@ -493,29 +455,37 @@ class StreamMultiplexer:
 
     def drain(self) -> int:
         """Pump until every queue is empty; return total frames processed."""
-        total = 0
-        while self.pending_frames:
-            processed = self.pump()
-            if processed == 0:
-                # Cannot happen with the two-phase pump (every head frame is
-                # either E or I), but guard against a livelocked scheduler.
-                raise RuntimeError("scheduler made no progress with frames pending")
-            total += processed
-        return total
+        start = time.perf_counter()
+        processed = self._absorb(self._executor.drain())
+        self._wall_s += time.perf_counter() - start
+        return processed
 
     # ------------------------------------------------------------------
     # Completion
     # ------------------------------------------------------------------
     def finish(self) -> Dict[str, SequenceResult]:
-        """Drain every queue, close every session, return per-stream results."""
+        """Drain every queue, close every session, return per-stream results.
+
+        Also releases the execution resources (worker processes and
+        shared-memory segments when ``workers > 1``), so a finished
+        multiplexer cannot accept new streams.
+        """
         self.drain()
         results: Dict[str, SequenceResult] = {}
         for name in self._order:
             stream = self._streams[name]
             if stream.result is None:
-                stream.result = stream.session.finish()
+                result, _stats = self._executor.finish_stream(name)
+                stream.result = result
             results[name] = stream.result
+        # Late records can surface while worker shards wind down.
+        self._absorb(self._executor.pump())
+        self._executor.close()
         return results
+
+    def close(self) -> None:
+        """Release worker processes and shared-memory segments."""
+        self._executor.close()
 
     def report(self) -> MultiplexerReport:
         """Aggregate scheduling statistics accumulated so far."""
@@ -525,6 +495,11 @@ class StreamMultiplexer:
             meter = self._streams[name].meter
             if meter is not None and meter.frames:
                 stream_energy[name] = meter.breakdown()
+        shared_energy = None
+        queueing = None
+        if self._pool is not None and self._pool.frames:
+            shared_energy = self._pool.aggregate()
+            queueing = self._pool.queueing_estimate()
         return MultiplexerReport(
             streams=stats,
             wall_s=self._wall_s,
@@ -534,6 +509,10 @@ class StreamMultiplexer:
             inference_batches=len(self._batch_sizes),
             batch_sizes=list(self._batch_sizes),
             stream_energy=stream_energy,
+            shared_energy=shared_energy,
+            queueing=queueing,
+            workers=self.workers,
+            transport=self.transport_mode,
         )
 
     # ------------------------------------------------------------------

@@ -4,8 +4,10 @@ This module turns the per-figure functions of :mod:`repro.harness.experiments`
 into a real experiment subsystem:
 
 * :class:`SweepRunner` executes pipeline sweeps.  It fans sequence execution
-  out over worker processes (via ``EuphratesPipeline.run_dataset``'s
-  ``max_workers``) and memoizes each swept pipeline configuration — figures
+  out over worker shards (via ``EuphratesPipeline.run_dataset``'s
+  ``max_workers``, i.e. the shared
+  :class:`~repro.core.executor.ShardedExecutor` serving the live
+  multiplexer too) and memoizes each swept pipeline configuration — figures
   that share sweep points (10a/10c/12 on the tracking sweep, 11a/11b on the
   block-16 TSS points) reuse one :class:`~repro.core.types.DatasetRunResult`
   instead of recomputing it.
@@ -91,8 +93,15 @@ class SweepRunner:
     what an isolated run would have produced.
     """
 
-    def __init__(self, max_workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        transport: Optional[str] = None,
+    ) -> None:
         self.max_workers = max_workers
+        #: Frame transport for sharded runs (``None`` = the pipeline's
+        #: configured default; ``"pickle"`` selects the legacy process pool).
+        self.transport = transport
         self.cache_hits = 0
         self.cache_misses = 0
         self._cache: Dict[SweepPoint, DatasetRunResult] = {}
@@ -166,7 +175,9 @@ class SweepRunner:
         else:
             raise ValueError(f"unknown task '{task}' (expected 'detection' or 'tracking')")
         pipeline = spec.build(inference_backend)
-        result = pipeline.run_dataset_result(dataset, max_workers=self.max_workers)
+        result = pipeline.run_dataset_result(
+            dataset, max_workers=self.max_workers, transport=self.transport
+        )
         self._cache[point] = result
         return result
 

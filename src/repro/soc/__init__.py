@@ -21,11 +21,13 @@ from .motion_controller import MotionControllerIP
 from .cpu import CPUHost
 from .dram import DRAMModel
 from .soc import EnergyBreakdown, FrameSchedule, VisionSoC
-from .frame_cost import CostMeter, FrameCost
+from .frame_cost import CostMeter, FrameCost, QueueingEstimate, SharedSoCPool
 
 __all__ = [
     "CostMeter",
     "FrameCost",
+    "QueueingEstimate",
+    "SharedSoCPool",
     "NNXConfig",
     "MotionControllerConfig",
     "DRAMConfig",

@@ -29,8 +29,9 @@ steady-state wall-clock rule the closed-form model always used.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from ..core.types import FrameKind, FrameTelemetry
 
@@ -68,6 +69,37 @@ class FrameCost:
     #: ISP motion-estimation ops actually spent (0 on the analytic path;
     #: informational — ISP energy is modeled as capture power x time).
     isp_motion_ops: float = 0.0
+
+
+@dataclass(frozen=True)
+class QueueingEstimate:
+    """M/D/1-style queueing view of a metered backend.
+
+    The wall-clock rule (``wall = max(compute, capture)``) says whether a
+    stream keeps up *on average*; this adds the next-order effect — frames
+    arriving at rate λ at a backend with (near-)deterministic service time
+    D queue behind each other.  Mean waiting time uses the M/D/1
+    Pollaczek–Khinchine form ``W = ρD / 2(1-ρ)``; at ρ >= 1 the queue has
+    no steady state and the wait is reported as ``inf``.
+    """
+
+    arrival_rate_hz: float
+    service_time_s: float
+    utilization: float
+    mean_wait_s: float
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean queueing wait plus one service time."""
+        return self.mean_wait_s + self.service_time_s
+
+
+def _md1_wait_s(utilization: float, service_time_s: float) -> float:
+    if utilization >= 1.0:
+        return math.inf
+    if utilization <= 0.0:
+        return 0.0
+    return utilization * service_time_s / (2.0 * (1.0 - utilization))
 
 
 class CostMeter:
@@ -267,4 +299,171 @@ class CostMeter:
             total_traffic_bytes=int(self.traffic_bytes),
             total_ops=self.ops,
             wall_time_s=wall_time,
+        )
+
+    def queueing_estimate(self) -> QueueingEstimate:
+        """M/D/1 latency view of this stream's backend load.
+
+        Arrivals are the capture rate actually sustained over the wall
+        clock; the deterministic service time is the mean backend latency
+        per frame.  Utilisation is ``backend_time / wall`` — at most 1 by
+        the wall-clock rule, with 1 meaning compute-bound (no steady-state
+        queue, infinite modeled wait).
+        """
+        if self.frames == 0:
+            raise ValueError("no frames recorded; nothing to estimate")
+        wall = self.wall_time_s
+        arrival_rate = self.frames / wall
+        service_time = self.backend_time_s / self.frames
+        utilization = self.backend_time_s / wall
+        return QueueingEstimate(
+            arrival_rate_hz=arrival_rate,
+            service_time_s=service_time,
+            utilization=utilization,
+            mean_wait_s=_md1_wait_s(utilization, service_time),
+        )
+
+
+class SharedSoCPool:
+    """Exact aggregate energy for N streams sharing one SoC's static power.
+
+    A lone :class:`CostMeter` prices its stream as if it owned the whole
+    modeled SoC, so summing per-stream breakdowns counts the *static* terms
+    (NNX idle, MC idle, DRAM background) once per stream — an upper bound
+    for a shared-SoC deployment (the historical multiplexer aggregate).
+    The pool settles those terms once, over the pool wall clock (streams
+    run concurrently, so the interval is the *longest* per-stream wall):
+
+    * dynamic terms (unit-active energy, DRAM traffic, CPU, per-camera
+      sensor+ISP frontend) are summed per meter — each on the meter's own
+      SoC, so heterogeneous per-stream ``soc_config`` prices correctly;
+    * static terms are charged exactly once on the pool's shared SoC.
+
+    The result is <= the per-stream sum always, and equal for one stream
+    (both properties are tested).  Starfish (MobiSys'15) is the paper-side
+    precedent for this many-apps-one-SoC accounting.
+    """
+
+    def __init__(self, soc: "VisionSoC", *, label: str = "shared-soc") -> None:
+        self.soc = soc
+        self.label = label
+        self._meters: List[CostMeter] = []
+
+    def open_meter(
+        self,
+        network: "NetworkSpec",
+        *,
+        soc: "VisionSoC | None" = None,
+        extrapolation_on_cpu: bool = False,
+        assume_nominal_capture: bool = False,
+        label: Optional[str] = None,
+    ) -> CostMeter:
+        """A per-stream meter whose dynamic terms this pool will aggregate.
+
+        ``soc`` overrides the modeled SoC for this stream's *dynamic*
+        pricing (heterogeneous capture settings in one multiplexer); the
+        shared static terms always settle on the pool's SoC.
+        """
+        meter = CostMeter(
+            soc or self.soc,
+            network,
+            extrapolation_on_cpu=extrapolation_on_cpu,
+            assume_nominal_capture=assume_nominal_capture,
+            label=label,
+        )
+        self._meters.append(meter)
+        return meter
+
+    @property
+    def meters(self) -> List[CostMeter]:
+        return list(self._meters)
+
+    def _metered(self) -> List[CostMeter]:
+        return [meter for meter in self._meters if meter.frames]
+
+    @property
+    def frames(self) -> int:
+        return sum(meter.frames for meter in self._meters)
+
+    @property
+    def wall_time_s(self) -> float:
+        """Pool wall clock: streams run concurrently, so the longest wall."""
+        return max((meter.wall_time_s for meter in self._metered()), default=0.0)
+
+    def aggregate(self, label: Optional[str] = None) -> "EnergyBreakdown":
+        """Exact shared-SoC energy summary across every metered stream."""
+        from .soc import EnergyBreakdown
+
+        metered = self._metered()
+        if not metered:
+            raise ValueError("no frames recorded; nothing to aggregate")
+        wall = self.wall_time_s
+        frames = sum(meter.frames for meter in metered)
+        inference = sum(meter.inference_frames for meter in metered)
+
+        # Per-camera terms: every stream has its own sensor + ISP capturing
+        # for its own wall time, priced on its own (possibly heterogeneous)
+        # capture setting.
+        frontend = sum(
+            meter.soc.config.frontend_power_w * meter.wall_time_s for meter in metered
+        )
+        # Dynamic backend terms per meter, on the meter's own SoC.
+        nnx_active = sum(
+            meter.soc.nnx.config.active_power_w * meter.nnx_active_s
+            for meter in metered
+        )
+        mc_active = sum(
+            meter.soc.motion_controller.config.active_power_w * meter.mc_busy_s
+            for meter in metered
+        )
+        cpu = sum(meter.cpu_energy_j for meter in metered)
+        # DRAM dynamic energy = energy_j over a zero-length interval (the
+        # background term is interval-proportional and drops out).
+        dram_dynamic = sum(
+            meter.soc.dram.energy_j(meter.traffic_bytes, 0.0) for meter in metered
+        )
+        # Shared static terms, charged once on the pool SoC over the pool
+        # wall: this is exactly what the per-stream sum over-counts.
+        nnx_busy = sum(meter.nnx_active_s for meter in metered)
+        mc_busy = sum(meter.mc_busy_s for meter in metered)
+        nnx_static = self.soc.nnx.idle_energy_j(max(0.0, wall - nnx_busy))
+        mc_static = self.soc.motion_controller.idle_energy_j(max(0.0, wall - mc_busy))
+        dram_background = self.soc.dram.energy_j(0, wall)
+
+        return EnergyBreakdown(
+            label=label or self.label,
+            num_frames=frames,
+            fps=frames / wall if wall > 0 else 0.0,
+            inference_rate=inference / frames,
+            frontend_energy_j=frontend,
+            memory_energy_j=dram_dynamic + dram_background,
+            backend_energy_j=nnx_active + nnx_static + mc_active + mc_static,
+            cpu_energy_j=cpu,
+            total_traffic_bytes=int(sum(meter.traffic_bytes for meter in metered)),
+            total_ops=sum(meter.ops for meter in metered),
+            wall_time_s=wall,
+        )
+
+    def queueing_estimate(self) -> QueueingEstimate:
+        """M/D/1 view of the shared backend serving every stream's frames.
+
+        Aggregate arrivals over the pool wall against the combined backend
+        demand.  Unlike a single meter, utilisation here can exceed 1 —
+        N compute-bound streams genuinely overload one shared backend —
+        which reports an infinite steady-state wait.
+        """
+        metered = self._metered()
+        if not metered:
+            raise ValueError("no frames recorded; nothing to estimate")
+        wall = self.wall_time_s
+        frames = sum(meter.frames for meter in metered)
+        backend_time = sum(meter.backend_time_s for meter in metered)
+        arrival_rate = frames / wall
+        service_time = backend_time / frames
+        utilization = backend_time / wall
+        return QueueingEstimate(
+            arrival_rate_hz=arrival_rate,
+            service_time_s=service_time,
+            utilization=utilization,
+            mean_wait_s=_md1_wait_s(utilization, service_time),
         )

@@ -256,6 +256,17 @@ class VisionSoC:
             label=label,
         )
 
+    def open_pool(self, *, label: str = "shared-soc"):
+        """A :class:`~repro.soc.frame_cost.SharedSoCPool` on this SoC.
+
+        N concurrent streams metered through one pool settle the static
+        power terms (NNX idle, MC idle, DRAM background) exactly once —
+        the exact shared-SoC aggregate, vs. the per-stream-sum upper bound.
+        """
+        from .frame_cost import SharedSoCPool
+
+        return SharedSoCPool(self, label=label)
+
     def evaluate(
         self,
         network: NetworkSpec,

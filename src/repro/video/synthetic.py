@@ -118,6 +118,7 @@ class SequenceGenerator:
             labels=labels,
             attributes=config.attributes,
             fps=config.fps,
+            source_config=config,
         )
 
     # ------------------------------------------------------------------

@@ -209,3 +209,98 @@ class TestPricing:
 
     def test_meter_label_defaults_to_network_name(self, soc, mdnet):
         assert CostMeter(soc, mdnet).label == mdnet.name
+
+
+class TestQueueingEstimate:
+    """The M/D/1 latency view layered on the wall-clock rule."""
+
+    def test_capture_bound_stream_has_finite_wait(self, soc, mdnet):
+        meter = soc.open_meter(mdnet)
+        # Cheap E-frames: backend demand far below the capture period.
+        for event in constant_ew_events(8, 64, rois=1):
+            meter.record(event)
+        estimate = meter.queueing_estimate()
+        assert 0.0 < estimate.utilization < 1.0
+        assert 0.0 < estimate.mean_wait_s < float("inf")
+        assert estimate.mean_latency_s == pytest.approx(
+            estimate.mean_wait_s + estimate.service_time_s
+        )
+
+    def test_compute_bound_stream_has_unbounded_wait(self, soc, yolo):
+        meter = soc.open_meter(yolo)
+        # Every frame a heavyweight inference: compute-bound (wall ==
+        # backend time, utilisation pinned at 1).
+        for event in constant_ew_events(1, 16, rois=1):
+            meter.record(event)
+        estimate = meter.queueing_estimate()
+        assert estimate.utilization == pytest.approx(1.0)
+        assert estimate.mean_wait_s == float("inf")
+
+    def test_requires_frames(self, soc, mdnet):
+        with pytest.raises(ValueError, match="nothing to estimate"):
+            soc.open_meter(mdnet).queueing_estimate()
+
+
+class TestSharedSoCPool:
+    """Exact shared-static-power aggregates across concurrent streams."""
+
+    def _fill(self, meter, extrapolation_window=4, num_frames=32):
+        for event in constant_ew_events(extrapolation_window, num_frames, rois=1):
+            meter.record(event)
+
+    def test_single_stream_aggregate_equals_its_breakdown(self, soc, mdnet):
+        pool = soc.open_pool()
+        meter = pool.open_meter(mdnet)
+        self._fill(meter)
+        aggregate = pool.aggregate()
+        alone = meter.breakdown()
+        assert aggregate.total_energy_j == pytest.approx(alone.total_energy_j)
+        assert aggregate.num_frames == alone.num_frames
+        assert aggregate.wall_time_s == pytest.approx(alone.wall_time_s)
+
+    def test_multi_stream_aggregate_below_per_stream_sum(self, soc, mdnet):
+        pool = soc.open_pool()
+        meters = [pool.open_meter(mdnet, label=f"cam{i}") for i in range(4)]
+        for meter in meters:
+            self._fill(meter)
+        aggregate = pool.aggregate()
+        upper_bound = sum(meter.breakdown().total_energy_j for meter in meters)
+        assert aggregate.total_energy_j < upper_bound
+        # The gap is exactly the (N-1) extra copies of static power the
+        # per-stream sum double-counts; both sides share identical dynamic
+        # terms, so the exact figure is bounded below by them too.
+        assert aggregate.total_energy_j > upper_bound / len(meters)
+
+    def test_heterogeneous_stream_socs_price_dynamically_per_stream(self, mdnet):
+        from repro.soc.config import resolve_soc_config
+
+        pool = VisionSoC().open_pool()
+        slow = pool.open_meter(mdnet, soc=VisionSoC(resolve_soc_config("1080p30")))
+        fast = pool.open_meter(mdnet, soc=VisionSoC(resolve_soc_config("1080p60")))
+        self._fill(slow)
+        self._fill(fast)
+        # Same frames, but the 30 FPS camera's capture-bound wall is twice
+        # as long, so its frontend term dominates.
+        assert slow.breakdown().frontend_energy_j > fast.breakdown().frontend_energy_j
+        aggregate = pool.aggregate()
+        upper_bound = sum(m.breakdown().total_energy_j for m in (slow, fast))
+        assert aggregate.total_energy_j < upper_bound
+
+    def test_pool_queueing_can_overload_past_unity(self, soc, yolo):
+        pool = soc.open_pool()
+        for index in range(3):
+            meter = pool.open_meter(yolo, label=f"cam{index}")
+            self._fill(meter, extrapolation_window=1, num_frames=16)
+        estimate = pool.queueing_estimate()
+        # Three compute-bound streams genuinely overload one shared backend.
+        assert estimate.utilization > 1.0
+        assert estimate.mean_wait_s == float("inf")
+
+    def test_empty_pool_refuses_aggregates(self, soc, mdnet):
+        pool = soc.open_pool()
+        pool.open_meter(mdnet)
+        assert pool.frames == 0
+        with pytest.raises(ValueError, match="nothing to aggregate"):
+            pool.aggregate()
+        with pytest.raises(ValueError, match="nothing to estimate"):
+            pool.queueing_estimate()

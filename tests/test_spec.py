@@ -1,4 +1,4 @@
-"""Tests for the unified PipelineSpec and the build_pipeline shim."""
+"""Tests for the unified PipelineSpec."""
 
 from __future__ import annotations
 
@@ -8,7 +8,6 @@ from dataclasses import FrozenInstanceError
 import pytest
 
 from repro.core.backends import tracking_backend_for
-from repro.core.pipeline import build_pipeline
 from repro.core.spec import PipelineSpec, normalize_window
 from repro.core.window import AdaptiveWindowController, ConstantWindowController
 from repro.motion.block_matching import SearchPolicy, SearchStrategy
@@ -197,36 +196,43 @@ class TestBuild:
         assert spec.extrapolation_window == 2  # original untouched
 
 
-class TestBuildPipelineShim:
-    def test_emits_deprecation_warning(self):
-        with pytest.warns(DeprecationWarning, match="PipelineSpec"):
-            build_pipeline(tracking_backend_for("mdnet"), extrapolation_window=2)
+class TestExecutionKnobs:
+    """workers/transport select where sessions run, never what they compute."""
 
-    def test_builds_the_same_pipeline_as_the_spec(self):
-        with pytest.warns(DeprecationWarning):
-            shimmed = build_pipeline(
-                tracking_backend_for("mdnet"),
-                extrapolation_window=4,
-                block_size=8,
-                exhaustive_search=True,
-            )
-        direct = PipelineSpec(
-            extrapolation_window=4, block_size=8, exhaustive_search=True
-        ).build(tracking_backend_for("mdnet"))
-        assert shimmed.config == direct.config
-        assert type(shimmed.window_controller) is type(direct.window_controller)
-        assert shimmed.window_controller.current_window == 4
+    def test_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            PipelineSpec(workers=0)
+        with pytest.raises(ValueError, match="unknown transport"):
+            PipelineSpec(transport="carrier-pigeon")
 
-    def test_positional_window_still_accepted(self):
-        with pytest.warns(DeprecationWarning):
-            pipeline = build_pipeline(tracking_backend_for("mdnet"), 4)
-        assert pipeline.window_controller.current_window == 4
+    def test_excluded_from_cache_key(self):
+        base = PipelineSpec(extrapolation_window=4)
+        sharded = PipelineSpec(extrapolation_window=4, workers=4, transport="shm")
+        assert base.cache_key() == sharded.cache_key()
+        # ...but algorithmic fields still split the key.
+        assert base.cache_key() != PipelineSpec(extrapolation_window=2).cache_key()
 
-    def test_legacy_errors_preserved(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError, match="window mode"):
-                build_pipeline(
-                    tracking_backend_for("mdnet"), extrapolation_window="sometimes"
-                )
-        with pytest.raises(TypeError):
-            build_pipeline(tracking_backend_for("mdnet"), bock_size=8)
+    def test_cli_roundtrip(self):
+        spec = PipelineSpec(extrapolation_window=4, workers=2, transport="shm")
+        parser = argparse.ArgumentParser()
+        PipelineSpec.add_cli_options(parser)
+        args = parser.parse_args(spec.to_cli_args())
+        assert PipelineSpec.from_cli_args(args) == spec
+
+    def test_describe_marks_sharded_specs(self):
+        assert "/x2" in PipelineSpec(workers=2).describe()
+        assert "/x" not in PipelineSpec().describe()
+
+    def test_build_installs_execution_spec(self):
+        pipeline = PipelineSpec(workers=2, transport="shm").build(
+            tracking_backend_for("mdnet")
+        )
+        assert pipeline.execution.workers == 2
+        assert pipeline.execution.transport == "shm"
+        assert PipelineSpec().build(
+            tracking_backend_for("mdnet")
+        ).execution.workers == 1
+
+    def test_build_pipeline_shim_is_gone(self):
+        with pytest.raises(ImportError):
+            from repro.core.pipeline import build_pipeline  # noqa: F401

@@ -243,11 +243,60 @@ class TestEnergyPolicy:
             assert breakdown.total_energy_j > 0.0
             # EW-4 tracking: an I-frame every 4 frames.
             assert breakdown.inference_rate == pytest.approx(0.25, abs=0.1)
+        # The aggregate is the exact shared-SoC figure: static power (NNX
+        # idle, DRAM background, MC idle) settled once across all streams,
+        # strictly below the per-stream-sum upper bound for several streams.
+        upper_bound = sum(b.total_energy_j for b in report.stream_energy.values())
+        assert report.aggregate_energy_upper_bound_j == pytest.approx(upper_bound)
+        assert report.shared_energy is not None
         assert report.aggregate_energy_j == pytest.approx(
-            sum(b.total_energy_j for b in report.stream_energy.values())
+            report.shared_energy.total_energy_j
         )
+        assert report.aggregate_energy_j < upper_bound
         assert report.aggregate_energy_per_frame_j > 0.0
         assert report.aggregate_power_w > 0.0
+        assert report.queueing is not None and report.queueing.utilization > 0.0
+
+    def test_single_stream_aggregate_equals_per_stream_sum(
+        self, tiny_tracking_dataset
+    ):
+        """With one stream there is nothing to share: exact == upper bound."""
+        mux = self._energy_mux()
+        _, report = mux.run_streams(tiny_tracking_dataset.sequences[:1])
+        assert report.shared_energy is not None
+        assert report.aggregate_energy_j == pytest.approx(
+            report.aggregate_energy_upper_bound_j
+        )
+
+    def test_per_stream_soc_config_prices_heterogeneous_cameras(
+        self, tiny_tracking_dataset
+    ):
+        """Streams may meter against different capture settings (one SoC pool)."""
+        sequences = tiny_tracking_dataset.sequences[:2]
+        mux = self._energy_mux()
+        # Same pixel stream, but the slow camera's modeled frame period is
+        # twice as long, so its capture-bound wall clock (and therefore its
+        # frontend energy) must come out higher.
+        slow = mux.add_stream(sequences[0], name="slow", soc_config="1080p30")
+        fast = mux.add_stream(sequences[1], name="fast", soc_config="1080p60")
+        for sequence, stream_id in zip(sequences, (slow, fast)):
+            mux.feed_sequence(stream_id, sequence)
+        mux.finish()
+        report = mux.report()
+        assert (
+            report.stream_energy["slow"].wall_time_s
+            > report.stream_energy["fast"].wall_time_s
+        )
+        assert (
+            report.stream_energy["slow"].frontend_energy_j
+            > report.stream_energy["fast"].frontend_energy_j
+        )
+        assert report.shared_energy is not None
+
+    def test_soc_config_requires_energy_model(self, pipeline):
+        mux = StreamMultiplexer(pipeline)
+        with pytest.raises(ValueError, match="needs an energy model"):
+            mux.add_stream(width=64, height=64, name="cam", soc_config="720p30")
 
     def test_batched_iframes_amortise_weight_traffic(self, tiny_tracking_dataset):
         """Multi-stream batches must price below one-stream-at-a-time runs."""
@@ -378,3 +427,44 @@ class TestEnergyPolicy:
 
         assert total_cpu_energy(False) == 0.0
         assert total_cpu_energy(True) > 0.0
+
+
+class TestShardedWorkers:
+    """workers=N shards streams over worker processes; outputs never change."""
+
+    def test_sharded_mux_matches_in_process(self, tiny_tracking_dataset):
+        sequences = tiny_tracking_dataset.sequences
+        spec = PipelineSpec(extrapolation_window=4)
+        serial, _ = StreamMultiplexer(
+            spec.build(tracking_backend_for("mdnet"))
+        ).run_streams(sequences)
+        sharded, report = StreamMultiplexer(
+            spec.build(tracking_backend_for("mdnet")), workers=2
+        ).run_streams(sequences)
+        assert report.workers == 2
+        assert report.transport == "shm"
+        assert report.frames_processed == sum(len(s) for s in sequences)
+        for name in serial:
+            assert_results_identical(serial[name], sharded[name])
+
+    def test_sharded_energy_metering_stays_exact(self, tiny_tracking_dataset):
+        from repro.nn.models import build_mdnet
+        from repro.soc import VisionSoC
+
+        spec = PipelineSpec(extrapolation_window=4)
+        mux = StreamMultiplexer(
+            spec.build(tracking_backend_for("mdnet")),
+            soc=VisionSoC(),
+            network=build_mdnet(),
+            workers=2,
+        )
+        results, report = mux.run_streams(tiny_tracking_dataset.sequences)
+        assert set(report.stream_energy) == set(results)
+        assert report.shared_energy is not None
+        assert 0.0 < report.aggregate_energy_j < report.aggregate_energy_upper_bound_j
+
+    def test_single_worker_resolves_in_process(self, pipeline):
+        mux = StreamMultiplexer(pipeline, workers=1)
+        assert mux.workers == 1
+        assert mux.transport_mode == "inproc"
+        mux.close()
