@@ -43,9 +43,19 @@ from .executor import (
     ShardedExecutor,
     ShardError,
     ShardSchedule,
+    StreamFailedError,
     StreamShard,
 )
+from .ingest import (
+    AdmissionError,
+    IngestConfig,
+    IngestCore,
+    ProtocolError,
+    ReorderWindow,
+    StreamFaults,
+)
 from .pipeline import EuphratesConfig, EuphratesPipeline
+from .server import EuphratesServer, ServeClient, ServerThread
 from .session import EuphratesSession, SessionClosedError, SessionStats, StreamOracle
 from .spec import PipelineSpec
 from .streaming import (
@@ -97,5 +107,15 @@ __all__ = [
     "ShardedExecutor",
     "ShardError",
     "ShardSchedule",
+    "StreamFailedError",
     "StreamShard",
+    "AdmissionError",
+    "IngestConfig",
+    "IngestCore",
+    "ProtocolError",
+    "ReorderWindow",
+    "StreamFaults",
+    "EuphratesServer",
+    "ServeClient",
+    "ServerThread",
 ]

@@ -149,6 +149,21 @@ class ShardError(RuntimeError):
     """A worker shard failed; carries the worker-side traceback."""
 
 
+class StreamFailedError(ShardError):
+    """One stream failed (its worker crashed or its session raised).
+
+    Raised by :meth:`ShardedExecutor.finish_stream` /
+    :meth:`ShardedExecutor.submit` for a stream that previously failed.
+    Unlike a bare :class:`ShardError` this is scoped: every other stream —
+    including streams on the same shard when failure isolation is on —
+    keeps running.
+    """
+
+    def __init__(self, key: str, message: str) -> None:
+        super().__init__(message)
+        self.key = key
+
+
 def _assert_frame_free(obj: object, _depth: int = 0) -> None:
     """Refuse to ship frame pixel arrays over a pickling pipe.
 
@@ -295,6 +310,20 @@ class SharedMemoryTransport:
             if segment.state(slot) == _SLOT_FULL
         )
 
+    def release(self, ref: FrameRef) -> None:
+        """Producer-side slot release for a frame that never reached a shard.
+
+        Consumers normally release slots through their
+        :class:`SharedMemorySlotReader`; when a submit fails client-side
+        (dead worker, failed stream) the producer hands the slot back
+        itself so in-flight failures cannot leak ring capacity.  Stale
+        refs (slot already recycled) are ignored.
+        """
+        segment = self._segments.get(ref.segment)
+        if segment is None or segment.generations[ref.slot] != ref.generation:
+            return
+        segment.shm.buf[ref.header_offset + 8] = _SLOT_FREE
+
     def close(self) -> None:
         for segment in self._segments.values():
             segment.shm.close()
@@ -435,9 +464,12 @@ class _ShardStream:
     def __init__(self, key: str, session) -> None:
         self.key = key
         self.session = session
-        #: Queue of (payload, truth, force_inference, enqueue_time); the
-        #: payload is a FrameRef in worker shards, an ndarray in-process.
-        self.queue: Deque[Tuple[object, Optional[Sequence[Detection]], bool, float]] = deque()
+        #: Queue of (payload, truth, force_inference, defer_inference,
+        #: degradation_note, enqueue_time); the payload is a FrameRef in
+        #: worker shards, an ndarray in-process.
+        self.queue: Deque[
+            Tuple[object, Optional[Sequence[Detection]], bool, bool, str, float]
+        ] = deque()
         #: Scheduling rounds this stream's head frame has sat as a deferred
         #: I-frame (energy policy's age-based deadline).
         self.i_head_rounds = 0
@@ -446,10 +478,10 @@ class _ShardStream:
     def head_kind(self) -> Optional[FrameKind]:
         if not self.queue:
             return None
-        _, _, force, _ = self.queue[0]
+        _, _, force, defer, _, _ = self.queue[0]
         if force:
             return FrameKind.INFERENCE
-        return self.session.next_frame_kind()
+        return self.session.next_frame_kind(assume_defer=defer)
 
 
 class StreamShard:
@@ -482,11 +514,22 @@ class StreamShard:
         *,
         name: str = "shard0",
         reader: Optional[SharedMemorySlotReader] = None,
+        isolate_failures: bool = False,
     ) -> None:
         self.pipeline = pipeline
         self.schedule = schedule
         self.name = name
         self._reader = reader
+        #: When set, a session exception fails only that stream — the queue
+        #: is discarded (slots released), the failure recorded in
+        #: :attr:`stream_failures`, and every other stream keeps running.
+        #: Off by default: the batch paths want the historical semantics
+        #: where the head frame is re-queued and the exception propagates
+        #: (the caller may retry, e.g. resubmitting with first-frame truth).
+        self.isolate_failures = isolate_failures
+        #: key -> traceback text for every stream this shard has failed.
+        self.stream_failures: Dict[str, str] = {}
+        self._new_failures: List[Tuple[str, str]] = []
         self._streams: Dict[str, _ShardStream] = {}
         self._order: List[str] = []
         self._rr_offset = 0
@@ -512,10 +555,37 @@ class StreamShard:
         payload: object,
         truth: Optional[Sequence[Detection]],
         force_inference: bool,
+        defer_inference: bool = False,
+        note: str = "",
     ) -> None:
         self.stream(key).queue.append(
-            (payload, truth, force_inference, time.perf_counter())
+            (payload, truth, force_inference, defer_inference, note, time.perf_counter())
         )
+
+    def take_new_failures(self) -> List[Tuple[str, str]]:
+        """Drain stream failures recorded since the last call."""
+        taken, self._new_failures = self._new_failures, []
+        return taken
+
+    def _fail_stream(self, key: str, tb: str) -> None:
+        """Tear down one stream after an isolated failure."""
+        stream = self._streams.pop(key, None)
+        if stream is None:
+            return
+        self._order.remove(key)
+        self.stream_failures[key] = tb
+        self._new_failures.append((key, tb))
+        for payload, *_ in stream.queue:
+            if isinstance(payload, FrameRef) and self._reader is not None:
+                try:
+                    self._reader.release(payload)
+                except Exception:  # pragma: no cover - slot already recycled
+                    pass
+        stream.queue.clear()
+        try:
+            stream.session.finish()
+        except Exception:
+            pass
 
     def pending(self) -> int:
         return sum(len(stream.queue) for stream in self._streams.values())
@@ -527,16 +597,22 @@ class StreamShard:
     def _process_head(
         self, stream: _ShardStream, batch_size: int, batch_id: int
     ) -> FrameRecord:
-        payload, truth, force, enqueued_at = stream.queue.popleft()
+        payload, truth, force, defer, note, enqueued_at = stream.queue.popleft()
         frame = self._reader.read(payload) if isinstance(payload, FrameRef) else payload
         start = time.perf_counter()
         try:
-            result = stream.session.submit(frame, truth=truth, force_inference=force)
+            result = stream.session.submit(
+                frame,
+                truth=truth,
+                force_inference=force,
+                defer_inference=defer,
+                degradation=note,
+            )
         except BaseException:
             # Put the frame back so the stream stays aligned with its queue
             # and the caller can retry (the session rolls itself back for
             # pre-ISP failures, e.g. missing first-frame truth).
-            stream.queue.appendleft((payload, truth, force, enqueued_at))
+            stream.queue.appendleft((payload, truth, force, defer, note, enqueued_at))
             raise
         elapsed = time.perf_counter() - start
         if isinstance(payload, FrameRef):
@@ -565,6 +641,20 @@ class StreamShard:
             or stream.i_head_rounds >= self.schedule.deadline_frames
         )
 
+    def _process_safe(
+        self, stream: _ShardStream, batch_size: int, batch_id: int,
+        records: List[FrameRecord],
+    ) -> bool:
+        """Process one head frame, failing only its stream under isolation."""
+        try:
+            records.append(self._process_head(stream, batch_size, batch_id))
+            return True
+        except BaseException:
+            if not self.isolate_failures:
+                raise
+            self._fail_stream(stream.key, traceback.format_exc())
+            return False
+
     def pump(self) -> List[FrameRecord]:
         """Run one scheduling round; return a record per processed frame."""
         schedule = self.schedule
@@ -590,13 +680,16 @@ class StreamShard:
                 and stream.queue
                 and stream.head_kind() is FrameKind.EXTRAPOLATION
             ):
-                records.append(self._process_head(stream, 1, -1))
+                if not self._process_safe(stream, 1, -1, records):
+                    break
                 burst += 1
 
         batch = [
             stream
             for stream in order
-            if stream.queue and stream.head_kind() is FrameKind.INFERENCE
+            if stream.key in self._streams
+            and stream.queue
+            and stream.head_kind() is FrameKind.INFERENCE
         ]
         if batch and schedule.policy == "energy":
             for stream in batch:
@@ -622,17 +715,19 @@ class StreamShard:
             self._batch_counter += 1
             for stream in batch:
                 stream.i_head_rounds = 0
-                records.append(self._process_head(stream, len(batch), batch_id))
+                self._process_safe(stream, len(batch), batch_id, records)
         return records
 
     def drain(self) -> List[FrameRecord]:
         """Pump until every queue is empty."""
         records: List[FrameRecord] = []
         while self.pending():
+            before = self.pending()
             round_records = self.pump()
-            if not round_records:
+            if not round_records and self.pending() >= before:
                 # Cannot happen with the two-phase pump (every head frame is
-                # either E or I), but guard against a livelocked scheduler.
+                # either E or I, and an isolated failure empties its queue),
+                # but guard against a livelocked scheduler.
                 raise RuntimeError("scheduler made no progress with frames pending")
             records.extend(round_records)
         return records
@@ -662,25 +757,44 @@ class StreamShard:
 # ----------------------------------------------------------------------
 # Worker process protocol
 # ----------------------------------------------------------------------
-def _shard_worker_main(conn, pipeline_blob: bytes, schedule: ShardSchedule, shard_name: str) -> None:
+def _shard_worker_main(
+    conn,
+    pipeline_blob: bytes,
+    schedule: ShardSchedule,
+    shard_name: str,
+    isolate_failures: bool = False,
+) -> None:
     """Entry point of one shard worker process.
 
     Control protocol (all messages tuples, tag first):
 
     * main -> worker: ``("open", key, kwargs)``, ``("frame", key, ref,
-      truth, force)``, ``("drain",)``, ``("finish", key)``, ``("stop",)``.
+      truth, force, defer, note)``, ``("drain",)``, ``("finish", key)``,
+      ``("stop",)``.
     * worker -> main: ``("opened", key)``, ``("records", [FrameRecord])``,
       ``("drained", shard)``, ``("finished", key, result, stats)``,
-      ``("error", shard, traceback)``.
+      ``("stream_error", key, traceback)``, ``("error", shard, traceback)``.
 
-    After an error the worker pauses (no pumping) until the next message
-    arrives, so a poisoned head frame cannot spam the pipe.
+    With ``isolate_failures`` a session exception fails only its stream
+    (reported as ``stream_error``; the worker keeps pumping the rest).
+    Otherwise an error pauses the worker (no pumping) until the next
+    message arrives, so a poisoned head frame cannot spam the pipe.
     """
     pipeline = pickle.loads(pipeline_blob)
     reader = SharedMemorySlotReader()
-    core = StreamShard(pipeline, schedule, name=shard_name, reader=reader)
+    core = StreamShard(
+        pipeline,
+        schedule,
+        name=shard_name,
+        reader=reader,
+        isolate_failures=isolate_failures,
+    )
     drain_requested = False
     paused = False
+
+    def flush_failures() -> None:
+        for key, tb in core.take_new_failures():
+            conn.send(("stream_error", key, tb))
 
     def handle(message) -> str:
         nonlocal drain_requested
@@ -688,8 +802,14 @@ def _shard_worker_main(conn, pipeline_blob: bytes, schedule: ShardSchedule, shar
         if tag == "stop":
             return "stop"
         if tag == "frame":
-            _, key, payload, truth, force = message
-            core.enqueue(key, payload, truth, force)
+            _, key, payload, truth, force, defer, note = message
+            if key in core.stream_failures:
+                # The client raced a submit against this stream's failure
+                # notice; drop the frame but hand its slot back.
+                if isinstance(payload, FrameRef):
+                    reader.release(payload)
+                return "continue"
+            core.enqueue(key, payload, truth, force, defer, note)
             return "continue"
         if tag == "drain":
             drain_requested = True
@@ -706,13 +826,21 @@ def _shard_worker_main(conn, pipeline_blob: bytes, schedule: ShardSchedule, shar
         if tag == "finish":
             _, key = message
             try:
-                while core.pending_for(key):
+                while (
+                    key not in core.stream_failures and core.pending_for(key)
+                ):
+                    before = core.pending()
                     records = core.pump()
-                    if not records:
+                    flush_failures()
+                    if not records and core.pending() >= before:
                         raise RuntimeError(
                             "scheduler made no progress with frames pending"
                         )
-                    conn.send(("records", records))
+                    if records:
+                        conn.send(("records", records))
+                if key in core.stream_failures:
+                    conn.send(("stream_error", key, core.stream_failures[key]))
+                    return "continue"
                 result, stats = core.finish_stream(key)
             except Exception:
                 conn.send(("error", shard_name, traceback.format_exc()))
@@ -765,6 +893,7 @@ def _shard_worker_main(conn, pipeline_blob: bytes, schedule: ShardSchedule, shar
                 conn.send(("error", shard_name, traceback.format_exc()))
                 paused = True
                 continue
+            flush_failures()
             if records:
                 conn.send(("records", records))
     finally:
@@ -780,26 +909,58 @@ class _InProcessShard:
 
     is_process = False
 
-    def __init__(self, pipeline: "EuphratesPipeline", schedule: ShardSchedule) -> None:
+    def __init__(
+        self,
+        pipeline: "EuphratesPipeline",
+        schedule: ShardSchedule,
+        *,
+        isolate_failures: bool = False,
+    ) -> None:
         self.name = "shard0"
-        self.core = StreamShard(pipeline, schedule, name=self.name)
+        self.core = StreamShard(
+            pipeline, schedule, name=self.name, isolate_failures=isolate_failures
+        )
+        #: Shard-level failure reason; an in-process shard cannot crash
+        #: independently of the client, so this stays ``None`` (mirrors the
+        #: :class:`_ProcessShard` attribute for uniform executor handling).
+        self.failure: Optional[str] = None
+        self._buffered: List[FrameRecord] = []
+
+    @property
+    def stream_errors(self) -> Dict[str, str]:
+        return self.core.stream_failures
 
     def open_stream(self, key: str, **kwargs) -> None:
         self.core.open_stream(key, **kwargs)
 
-    def submit(self, key, payload, truth, force) -> None:
-        self.core.enqueue(key, payload, truth, force)
+    def submit(self, key, payload, truth, force, defer=False, note="") -> None:
+        self.core.enqueue(key, payload, truth, force, defer, note)
 
     def collect(self) -> List[FrameRecord]:
         """One scheduling round (the in-process analogue of 'poll')."""
-        if not self.core.pending():
-            return []
-        return self.core.pump()
+        records, self._buffered = self._buffered, []
+        if self.core.pending():
+            records.extend(self.core.pump())
+        return records
 
     def drain(self) -> List[FrameRecord]:
-        return self.core.drain()
+        records, self._buffered = self._buffered, []
+        records.extend(self.core.drain())
+        return records
 
     def finish_stream(self, key: str):
+        # Mirror the worker shards' behavior: pump this stream's own queue
+        # dry first, buffering the records for the next pump()/drain().
+        while (
+            key not in self.core.stream_failures and self.core.pending_for(key)
+        ):
+            self._buffered.extend(self.core.pump())
+        if key in self.core.stream_failures:
+            raise StreamFailedError(
+                key,
+                f"stream '{key}' failed on {self.name}:\n"
+                f"{self.core.stream_failures[key]}",
+            )
         return self.core.finish_stream(key)
 
     def pending_for(self, key: str) -> int:
@@ -817,12 +978,20 @@ class _ProcessShard:
 
     is_process = True
 
-    def __init__(self, index: int, ctx, pipeline_blob: bytes, schedule: ShardSchedule) -> None:
+    def __init__(
+        self,
+        index: int,
+        ctx,
+        pipeline_blob: bytes,
+        schedule: ShardSchedule,
+        *,
+        isolate_failures: bool = False,
+    ) -> None:
         self.name = f"shard{index}"
         self.conn, child_conn = ctx.Pipe()
         self.process = ctx.Process(
             target=_shard_worker_main,
-            args=(child_conn, pipeline_blob, schedule, self.name),
+            args=(child_conn, pipeline_blob, schedule, self.name, isolate_failures),
             name=f"repro-{self.name}",
             daemon=True,
         )
@@ -833,17 +1002,36 @@ class _ProcessShard:
         self._finished: Dict[str, tuple] = {}
         self._pending: Dict[str, int] = {}
         self._drained = False
+        #: key -> traceback text for streams the worker failed in isolation.
+        self.stream_errors: Dict[str, str] = {}
+        #: Shard-level failure reason (dead worker / broken pipe).  Once
+        #: set, the executor scopes the loss to this shard's streams.
+        self.failure: Optional[str] = None
 
     # -- message plumbing ----------------------------------------------
+    def _dead(self, context: str = "") -> ShardError:
+        detail = f" (exit code {self.process.exitcode})" if not self.process.is_alive() else ""
+        reason = f"worker process for {self.name} died unexpectedly{detail}"
+        if context:
+            reason = f"{reason}: {context}"
+        self.failure = self.failure or reason
+        return ShardError(self.failure)
+
     def _send(self, message) -> None:
+        if self.failure is not None:
+            raise ShardError(self.failure)
         _assert_frame_free(message)
-        self.conn.send(message)
+        try:
+            self.conn.send(message)
+        except (BrokenPipeError, OSError) as error:
+            raise self._dead(str(error)) from error
 
     def _absorb(self, message) -> None:
         tag = message[0]
         if tag == "records":
             for record in message[1]:
-                self._pending[record.key] -= 1
+                if record.key in self._pending:
+                    self._pending[record.key] -= 1
             self._records.extend(message[1])
         elif tag == "finished":
             self._finished[message[1]] = (message[2], message[3])
@@ -851,6 +1039,11 @@ class _ProcessShard:
             self._drained = True
         elif tag == "opened":
             self._opened.add(message[1])
+        elif tag == "stream_error":
+            # Isolated failure: only this stream is lost; the worker keeps
+            # serving its other streams.
+            self.stream_errors[message[1]] = message[2]
+            self._pending[message[1]] = 0
         elif tag == "error":
             raise ShardError(
                 f"worker for {self.name} failed:\n{message[2]}"
@@ -858,14 +1051,33 @@ class _ProcessShard:
         else:  # pragma: no cover - protocol invariant
             raise ShardError(f"unknown worker message tag {tag!r}")
 
+    def _pump_pipe(self) -> None:
+        """Absorb everything the worker has sent without blocking."""
+        try:
+            while self.conn.poll(0):
+                self._absorb(self.conn.recv())
+        except (EOFError, OSError) as error:
+            raise self._dead(str(error) or type(error).__name__) from error
+
     def _wait(self, predicate) -> None:
         while not predicate():
-            if self.conn.poll(0.05):
-                self._absorb(self.conn.recv())
-            elif not self.process.is_alive():
-                raise ShardError(
-                    f"worker process for {self.name} died unexpectedly"
-                )
+            try:
+                if self.conn.poll(0.05):
+                    self._absorb(self.conn.recv())
+                    continue
+            except (EOFError, OSError) as error:
+                raise self._dead(str(error) or type(error).__name__) from error
+            if not self.process.is_alive():
+                # Drain whatever the dying worker managed to flush before
+                # declaring it gone (the pipe may still buffer messages).
+                try:
+                    while self.conn.poll(0):
+                        self._absorb(self.conn.recv())
+                except (EOFError, OSError):
+                    pass
+                if predicate():
+                    return
+                raise self._dead()
 
     # -- shard interface -----------------------------------------------
     def open_stream(self, key: str, **kwargs) -> None:
@@ -873,13 +1085,12 @@ class _ProcessShard:
         self._send(("open", key, kwargs))
         self._wait(lambda: key in self._opened)
 
-    def submit(self, key, payload, truth, force) -> None:
-        self._send(("frame", key, payload, truth, force))
-        self._pending[key] += 1
+    def submit(self, key, payload, truth, force, defer=False, note="") -> None:
+        self._send(("frame", key, payload, truth, force, defer, note))
+        self._pending[key] = self._pending.get(key, 0) + 1
 
     def collect(self) -> List[FrameRecord]:
-        while self.conn.poll(0):
-            self._absorb(self.conn.recv())
+        self._pump_pipe()
         records, self._records = self._records, []
         return records
 
@@ -891,27 +1102,35 @@ class _ProcessShard:
         return records
 
     def finish_stream(self, key: str):
+        if key in self.stream_errors:
+            raise StreamFailedError(
+                key,
+                f"stream '{key}' failed on {self.name}:\n{self.stream_errors[key]}",
+            )
         self._send(("finish", key))
-        self._wait(lambda: key in self._finished)
+        self._wait(lambda: key in self._finished or key in self.stream_errors)
         self._pending.pop(key, None)
+        if key in self.stream_errors:
+            raise StreamFailedError(
+                key,
+                f"stream '{key}' failed on {self.name}:\n{self.stream_errors[key]}",
+            )
         return self._finished.pop(key)
 
     def pending_for(self, key: str) -> int:
-        while self.conn.poll(0):
-            self._absorb(self.conn.recv())
+        self._pump_pipe()
         return self._pending.get(key, 0)
 
     def outstanding(self) -> int:
-        while self.conn.poll(0):
-            self._absorb(self.conn.recv())
+        self._pump_pipe()
         return sum(self._pending.values())
 
     def close(self) -> None:
         try:
-            if self.process.is_alive():
+            if self.failure is None and self.process.is_alive():
                 self._send(("stop",))
             self.process.join(timeout=5.0)
-        except (BrokenPipeError, OSError):  # pragma: no cover - dying worker
+        except (BrokenPipeError, OSError, ShardError):  # pragma: no cover - dying worker
             pass
         finally:
             if self.process.is_alive():  # pragma: no cover - stuck worker
@@ -941,6 +1160,7 @@ class ShardedExecutor:
         workers: int = 1,
         transport: str = "auto",
         schedule: Optional[ShardSchedule] = None,
+        isolate_failures: bool = False,
     ) -> None:
         spec = ExecutionSpec(workers=workers, transport=transport)  # validates
         if spec.transport == "pickle":
@@ -963,23 +1183,37 @@ class ShardedExecutor:
         else:
             self.transport_mode = "shm"
 
+        self.isolate_failures = bool(isolate_failures)
         self._sources: Dict[str, "VideoSequence"] = {}
         self._assignment: Dict[str, object] = {}
         self._order: List[str] = []
         self._submitted: Dict[str, int] = {}
         self._stray_records: List[FrameRecord] = []
+        #: key -> reason for streams lost to an isolated failure (their own
+        #: session crashing, or their shard's worker process dying).
+        self._failures: Dict[str, str] = {}
         self._closed = False
 
         if self.transport_mode == "inproc":
             self.transport = InProcessTransport()
-            self._shards: List[object] = [_InProcessShard(pipeline, self.schedule)]
+            self._shards: List[object] = [
+                _InProcessShard(
+                    pipeline, self.schedule, isolate_failures=self.isolate_failures
+                )
+            ]
         else:
             self.transport = SharedMemoryTransport()
             methods = get_all_start_methods()
             ctx = get_context("fork" if "fork" in methods else "spawn")
             blob = pickle.dumps(pipeline)
             self._shards = [
-                _ProcessShard(index, ctx, blob, self.schedule)
+                _ProcessShard(
+                    index,
+                    ctx,
+                    blob,
+                    self.schedule,
+                    isolate_failures=self.isolate_failures,
+                )
                 for index in range(self.workers)
             ]
 
@@ -1035,6 +1269,42 @@ class ShardedExecutor:
         except KeyError:
             raise KeyError(f"unknown stream '{key}'") from None
 
+    # -- failure scoping -------------------------------------------------
+    @property
+    def stream_failures(self) -> Dict[str, str]:
+        """key -> reason for every stream lost to an isolated failure."""
+        self._sync_failures()
+        return dict(self._failures)
+
+    def _sync_failures(self) -> None:
+        for shard in self._shards:
+            for key, reason in shard.stream_errors.items():
+                self._failures.setdefault(
+                    key, f"stream '{key}' failed on {shard.name}:\n{reason}"
+                )
+
+    def _fail_shard(self, shard, reason: str) -> None:
+        """Scope the loss of one shard to the streams placed on it."""
+        shard.failure = shard.failure or reason
+        for key in [k for k, s in self._assignment.items() if s is shard]:
+            self._failures.setdefault(key, f"stream '{key}' lost: {reason}")
+
+    def _shard_failed(self, shard, error: ShardError) -> None:
+        """Handle a shard-level error according to the isolation policy."""
+        if not self.isolate_failures:
+            raise error
+        self._fail_shard(shard, str(error))
+
+    def _forget(self, key: str) -> None:
+        self._assignment.pop(key, None)
+        if key in self._order:
+            self._order.remove(key)
+        self._sources.pop(key, None)
+        self._submitted.pop(key, None)
+
+    def _raise_failed(self, key: str) -> None:
+        raise StreamFailedError(key, self._failures[key])
+
     # -- frame ingress --------------------------------------------------
     def submit(
         self,
@@ -1043,23 +1313,57 @@ class ShardedExecutor:
         *,
         truth: Optional[Sequence[Detection]] = None,
         force_inference: bool = False,
+        defer_inference: bool = False,
+        degradation: str = "",
     ) -> None:
+        self._sync_failures()
+        if key in self._failures:
+            self._raise_failed(key)
         shard = self.shard_of(key)
+        if shard.failure is not None:
+            self._shard_failed(shard, ShardError(shard.failure))
+            self._raise_failed(key)
         source = self._sources.get(key)
         if source is not None and truth is None:
             # Sequence-bound streams on worker shards: the oracle needs the
             # truth a sequence-bound session would have read itself.
             truth = source.truth_detections(self._submitted[key])
         payload = self.transport.send(frame)
-        shard.submit(key, payload, truth, force_inference)
+        try:
+            shard.submit(
+                key, payload, truth, force_inference, defer_inference, degradation
+            )
+        except ShardError as error:
+            # The frame never reached the shard: hand its slot back so a
+            # dead worker doesn't leak ring-buffer capacity.
+            release = getattr(self.transport, "release", None)
+            if release is not None and isinstance(payload, FrameRef):
+                release(payload)
+            self._shard_failed(shard, error)
+            self._raise_failed(key)
         self._submitted[key] += 1
 
     def pending_for(self, key: str) -> int:
-        return self.shard_of(key).pending_for(key)
+        if key in self._failures:
+            return 0
+        shard = self.shard_of(key)
+        try:
+            return shard.pending_for(key)
+        except ShardError as error:
+            self._shard_failed(shard, error)
+            return 0
 
     @property
     def pending_frames(self) -> int:
-        return sum(shard.outstanding() for shard in self._shards)
+        total = 0
+        for shard in self._shards:
+            if shard.failure is not None:
+                continue
+            try:
+                total += shard.outstanding()
+            except ShardError as error:
+                self._shard_failed(shard, error)
+        return total
 
     # -- scheduling ------------------------------------------------------
     def pump(self) -> List[FrameRecord]:
@@ -1072,15 +1376,27 @@ class ShardedExecutor:
         records = self._stray_records
         self._stray_records = []
         for shard in self._shards:
-            records.extend(shard.collect())
+            if shard.failure is not None:
+                continue
+            try:
+                records.extend(shard.collect())
+            except ShardError as error:
+                self._shard_failed(shard, error)
+        self._sync_failures()
         return records
 
     def drain(self) -> List[FrameRecord]:
-        """Block until every queue on every shard is empty."""
+        """Block until every queue on every live shard is empty."""
         records = self._stray_records
         self._stray_records = []
         for shard in self._shards:
-            records.extend(shard.drain())
+            if shard.failure is not None:
+                continue
+            try:
+                records.extend(shard.drain())
+            except ShardError as error:
+                self._shard_failed(shard, error)
+        self._sync_failures()
         return records
 
     def finish_stream(self, key: str) -> Tuple[SequenceResult, "SessionStats"]:
@@ -1088,19 +1404,35 @@ class ShardedExecutor:
 
         Records produced while the stream's shard catches up are kept and
         handed out by the next :meth:`pump`/:meth:`drain` call, so clients
-        tracking per-frame statistics never lose any.
+        tracking per-frame statistics never lose any.  A stream lost to an
+        isolated failure raises :class:`StreamFailedError` with the original
+        worker traceback; other streams stay serviceable.
         """
+        self._sync_failures()
+        if key in self._failures:
+            self._forget(key)
+            self._raise_failed(key)
         shard = self.shard_of(key)
-        result, stats = shard.finish_stream(key)
+        try:
+            result, stats = shard.finish_stream(key)
+        except StreamFailedError as error:
+            self._failures.setdefault(key, str(error))
+            self._forget(key)
+            raise
+        except ShardError as error:
+            self._shard_failed(shard, error)
+            self._forget(key)
+            self._raise_failed(key)
         if shard.is_process:
-            self._stray_records.extend(shard.collect())
+            try:
+                self._stray_records.extend(shard.collect())
+            except ShardError as error:
+                self._shard_failed(shard, error)
             # Worker sessions report their finish to the *worker's* pipeline
             # copy; mirror the op total onto the client-side pipeline, which
             # is the aggregate run_dataset and the sweeps report on.
             self.pipeline.total_extrapolation_ops += stats.extrapolation_ops
-        del self._assignment[key]
-        self._order.remove(key)
-        self._sources.pop(key, None)
+        self._forget(key)
         return result, stats
 
     # -- whole-dataset convenience --------------------------------------

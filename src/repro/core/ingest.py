@@ -1,0 +1,719 @@
+"""Network ingestion core: wire protocol, reorder window, overload policies.
+
+This module is the *synchronous* heart of the serving front end
+(:mod:`repro.core.server` wraps it in asyncio): everything that decides
+what happens to an arriving frame lives here, with no sockets involved,
+so the fault-injection and property tests drive it directly.
+
+Pipeline of one arriving frame::
+
+    bytes on the wire
+      └─ decode_frame()            length-prefixed, uint8 payload viewed
+      └─ ReorderWindow.push()      in-order release; dups/late dropped;
+                                   bounded wait for stragglers, then a
+                                   *gap* is declared and sealed
+      └─ bounded ready queue       per-stream; overload policy applies
+                                   (drop-oldest / degrade)
+      └─ StreamMultiplexer.submit  frames enter the shared execution core;
+                                   a sealed gap forces an I-frame and tags
+                                   telemetry ``dropped-frame-gap``
+
+Ordering invariant (property-tested): the frames the core *accepts*
+produce results bit-identical to feeding the same surviving subsequence —
+with an I-frame forced at every gap — to a serial
+:class:`~repro.core.session.EuphratesSession`.  Degradation is observable
+but never silent: every drop, deferral and gap lands in
+:class:`~repro.core.types.FrameTelemetry` / the stream's fault counters.
+
+Admission control prices a new stream on the
+:class:`~repro.soc.frame_cost.CapacityModel` M/D/1 budget: a stream is
+rejected exactly when the projected shared-backend utilisation would
+reach 1 (the queueing wait diverges — the pool can never catch up).
+
+Wire protocol (asyncio TCP, but codec usable over any byte transport)::
+
+    message   := u32 length (big endian, of what follows) | u8 type | body
+    FRAME body:= u32 handle | u32 seq | u16 height | u16 width
+                 | u32 truth_len | truth JSON (truth_len bytes)
+                 | h*w uint8 luma pixels
+    other bodies are UTF-8 JSON objects.
+
+Frame payloads stay ``uint8`` end to end: the decoder returns a zero-copy
+:class:`numpy.ndarray` view of the receive buffer, and submission writes
+it straight into the executor transport's ring slot — frames are never
+pickled.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .executor import FrameRecord, StreamFailedError
+from .geometry import BoundingBox
+from .types import Detection, SequenceResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..soc.frame_cost import CapacityModel, QueueingEstimate
+    from .streaming import StreamMultiplexer
+
+__all__ = [
+    "MSG_BYE",
+    "MSG_BYE_OK",
+    "MSG_ERROR",
+    "MSG_FRAME",
+    "MSG_HEALTH",
+    "MSG_HELLO",
+    "MSG_HELLO_OK",
+    "MSG_REJECT",
+    "MSG_RESULT",
+    "MSG_STATS",
+    "OVERLOAD_POLICIES",
+    "AdmissionError",
+    "IngestConfig",
+    "IngestCore",
+    "ProtocolError",
+    "ReorderWindow",
+    "StreamFaults",
+    "decode_frame",
+    "decode_json",
+    "encode_frame",
+    "encode_json",
+    "encode_message",
+    "read_message",
+]
+
+
+# ----------------------------------------------------------------------
+# Wire protocol
+# ----------------------------------------------------------------------
+MSG_HELLO = 1  #: client -> server: open a stream (JSON config)
+MSG_HELLO_OK = 2  #: server -> client: admitted (JSON: handle)
+MSG_REJECT = 3  #: server -> client: admission rejected (JSON: reason)
+MSG_FRAME = 4  #: client -> server: one captured frame (binary)
+MSG_RESULT = 5  #: server -> client: per-frame result ack (JSON)
+MSG_STATS = 6  #: either direction: stats request / reply (JSON)
+MSG_HEALTH = 7  #: either direction: health request / reply (JSON)
+MSG_BYE = 8  #: client -> server: graceful end of stream
+MSG_BYE_OK = 9  #: server -> client: stream settled (JSON summary)
+MSG_ERROR = 10  #: server -> client: stream failed (JSON reason)
+
+_HEADER = struct.Struct(">I")
+_FRAME_HEAD = struct.Struct(">IIHHI")
+
+#: Refuse absurd lengths before allocating (64 MiB >> any 1080p frame).
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A malformed message on the wire."""
+
+
+def encode_message(msg_type: int, body: bytes = b"") -> bytes:
+    """Frame one message: u32 length | u8 type | body."""
+    return _HEADER.pack(len(body) + 1) + bytes([msg_type]) + body
+
+
+def encode_json(msg_type: int, payload: dict) -> bytes:
+    return encode_message(msg_type, json.dumps(payload).encode("utf-8"))
+
+
+def decode_json(body: bytes) -> dict:
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"malformed JSON body: {error}") from error
+    if not isinstance(payload, dict):
+        raise ProtocolError("JSON body must be an object")
+    return payload
+
+
+def _truth_to_json(truth: Optional[Sequence[Detection]]) -> bytes:
+    if truth is None:
+        return b""
+    items = [
+        {
+            "x": d.box.x,
+            "y": d.box.y,
+            "w": d.box.width,
+            "h": d.box.height,
+            "label": d.label,
+            "score": d.score,
+            "object_id": d.object_id,
+        }
+        for d in truth
+    ]
+    return json.dumps(items).encode("utf-8")
+
+
+def _truth_from_json(blob: bytes) -> Optional[List[Detection]]:
+    if not blob:
+        return None
+    items = json.loads(blob.decode("utf-8"))
+    return [
+        Detection(
+            box=BoundingBox(d["x"], d["y"], d["w"], d["h"]),
+            label=d.get("label", "object"),
+            score=d.get("score", 1.0),
+            object_id=d.get("object_id"),
+        )
+        for d in items
+    ]
+
+
+def encode_frame(
+    handle: int,
+    seq: int,
+    frame: np.ndarray,
+    truth: Optional[Sequence[Detection]] = None,
+) -> bytes:
+    """Encode one FRAME message (uint8 luma payload, raw bytes)."""
+    if frame.dtype != np.uint8 or frame.ndim != 2:
+        raise ProtocolError(
+            f"frames on the wire are 2-D uint8 luma, got {frame.dtype} "
+            f"ndim={frame.ndim}"
+        )
+    height, width = frame.shape
+    truth_blob = _truth_to_json(truth)
+    body = (
+        _FRAME_HEAD.pack(handle, seq, height, width, len(truth_blob))
+        + truth_blob
+        + np.ascontiguousarray(frame).tobytes()
+    )
+    return encode_message(MSG_FRAME, body)
+
+
+def decode_frame(
+    body: bytes | memoryview,
+) -> Tuple[int, int, np.ndarray, Optional[List[Detection]]]:
+    """Decode a FRAME body to ``(handle, seq, frame_view, truth)``.
+
+    The returned frame is a zero-copy uint8 view of ``body`` — the caller
+    submits it straight into a transport ring slot (which copies it there)
+    and must not retain the view past the buffer's lifetime.
+    """
+    view = memoryview(body)
+    if len(view) < _FRAME_HEAD.size:
+        raise ProtocolError(f"FRAME body too short ({len(view)} bytes)")
+    handle, seq, height, width, truth_len = _FRAME_HEAD.unpack_from(view, 0)
+    offset = _FRAME_HEAD.size
+    if len(view) != offset + truth_len + height * width:
+        raise ProtocolError(
+            f"FRAME length mismatch: {len(view)} bytes for "
+            f"{height}x{width} + {truth_len} truth"
+        )
+    truth = _truth_from_json(bytes(view[offset : offset + truth_len]))
+    offset += truth_len
+    frame = np.frombuffer(view, dtype=np.uint8, offset=offset).reshape(height, width)
+    return handle, seq, frame, truth
+
+
+def read_message(buffer: bytearray) -> Optional[Tuple[int, bytes]]:
+    """Pop one complete ``(type, body)`` message off ``buffer``, if any.
+
+    The incremental receive-side parser: append raw socket bytes to
+    ``buffer``, call until it returns ``None``.
+    """
+    if len(buffer) < _HEADER.size:
+        return None
+    (length,) = _HEADER.unpack_from(buffer, 0)
+    if length < 1 or length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"bad message length {length}")
+    if len(buffer) < _HEADER.size + length:
+        return None
+    msg_type = buffer[_HEADER.size]
+    body = bytes(buffer[_HEADER.size + 1 : _HEADER.size + length])
+    del buffer[: _HEADER.size + length]
+    return msg_type, body
+
+
+# ----------------------------------------------------------------------
+# Reorder window
+# ----------------------------------------------------------------------
+class ReorderWindow:
+    """Re-establishes source order for late / out-of-order / duplicate frames.
+
+    Frames carry a source sequence number; the window buffers up to
+    ``window`` out-of-order arrivals waiting for the missing ones.  When
+    the buffer fills (or :meth:`flush` is called), the missing range is
+    *sealed* as a gap: delivery resumes at the earliest buffered frame,
+    which is flagged ``gap=True`` so the pipeline can force an I-frame —
+    extrapolating across dropped frames would violate EVA²'s temporal
+    assumption.  Duplicates and frames older than the delivery point are
+    dropped (counted, never delivered twice).
+    """
+
+    def __init__(self, window: int = 8) -> None:
+        if window < 1:
+            raise ValueError(f"reorder window must be >= 1, got {window}")
+        self.window = window
+        self.next_seq = 0
+        self._buffer: Dict[int, object] = {}
+        self.duplicates = 0
+        self.late_drops = 0
+        self.reordered = 0
+        self.gaps = 0
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)
+
+    def push(self, seq: int, item: object) -> List[Tuple[int, object, bool]]:
+        """Accept one arrival; return ``(seq, item, gap)`` ready in order."""
+        if seq < self.next_seq:
+            self.late_drops += 1
+            return []
+        if seq in self._buffer:
+            self.duplicates += 1
+            return []
+        if seq != self.next_seq:
+            self.reordered += 1
+        self._buffer[seq] = item
+        released = self._release_contiguous()
+        while len(self._buffer) > self.window:
+            # Stragglers kept the window full: seal the gap and move on.
+            released.extend(self._seal_gap())
+            released.extend(self._release_contiguous())
+        return released
+
+    def _release_contiguous(self) -> List[Tuple[int, object, bool]]:
+        released: List[Tuple[int, object, bool]] = []
+        while self.next_seq in self._buffer:
+            released.append((self.next_seq, self._buffer.pop(self.next_seq), False))
+            self.next_seq += 1
+        return released
+
+    def _seal_gap(self) -> List[Tuple[int, object, bool]]:
+        earliest = min(self._buffer)
+        self.gaps += 1
+        self.next_seq = earliest + 1
+        return [(earliest, self._buffer.pop(earliest), True)]
+
+    def flush(self) -> List[Tuple[int, object, bool]]:
+        """Release everything still buffered (end of stream), sealing gaps."""
+        released = self._release_contiguous()
+        while self._buffer:
+            released.extend(self._seal_gap())
+            released.extend(self._release_contiguous())
+        return released
+
+
+# ----------------------------------------------------------------------
+# Ingestion core
+# ----------------------------------------------------------------------
+OVERLOAD_POLICIES = ("drop-oldest", "degrade")
+
+
+class AdmissionError(RuntimeError):
+    """The capacity budget rejected a new stream."""
+
+
+@dataclass
+class IngestConfig:
+    """Knobs of the ingestion core (per server, applied per stream)."""
+
+    #: Bounded ready-queue depth per stream (frames reordered and waiting
+    #: to enter the execution core).
+    queue_capacity: int = 32
+    #: What to do when a stream's ready queue is full:
+    #: ``"drop-oldest"`` drops the oldest queued frame (the drop becomes a
+    #: gap — the next delivered frame forces an I-frame);
+    #: ``"degrade"`` accepts the frame but defers controller-scheduled
+    #: I-frames (widening the effective extrapolation window) until the
+    #: backlog clears.
+    overload_policy: str = "degrade"
+    #: Out-of-order arrivals buffered while waiting for missing frames.
+    reorder_window: int = 8
+    #: Frames in flight inside the execution core per stream (beyond this
+    #: the ready queue holds them — keeps shared-memory slots bounded).
+    feed_depth: int = 8
+    #: Whether to run capacity-budget admission control (needs a
+    #: :class:`~repro.soc.frame_cost.CapacityModel`).
+    admission: bool = True
+
+    def __post_init__(self) -> None:
+        if self.overload_policy not in OVERLOAD_POLICIES:
+            raise ValueError(
+                f"unknown overload policy {self.overload_policy!r}; "
+                f"expected one of {OVERLOAD_POLICIES}"
+            )
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.feed_depth < 1:
+            raise ValueError("feed_depth must be >= 1")
+
+
+@dataclass
+class StreamFaults:
+    """Per-stream fault/degradation counters (all observe-only)."""
+
+    duplicates: int = 0
+    late_drops: int = 0
+    reordered: int = 0
+    gaps: int = 0
+    overload_drops: int = 0
+    degraded_submits: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "duplicates": self.duplicates,
+            "late_drops": self.late_drops,
+            "reordered": self.reordered,
+            "gaps": self.gaps,
+            "overload_drops": self.overload_drops,
+            "degraded_submits": self.degraded_submits,
+        }
+
+
+class _IngestStream:
+    """Server-side state of one admitted camera stream."""
+
+    def __init__(self, stream_id: str, config: IngestConfig, demand) -> None:
+        self.stream_id = stream_id
+        self.config = config
+        self.demand = demand
+        self.reorder = ReorderWindow(config.reorder_window)
+        #: Reordered frames ready to enter the execution core:
+        #: (source_seq, frame, truth, gap).
+        self.ready: Deque[Tuple[int, np.ndarray, object, bool]] = deque()
+        #: A drop (gap or overload) happened after the last submitted
+        #: frame: the next submit must force an I-frame.
+        self.pending_gap = False
+        self.faults = StreamFaults()
+        #: Source seqs actually submitted to the pipeline, in order.
+        self.accepted_seqs: List[int] = []
+        self.frames_submitted = 0
+        self.closed = False
+
+
+class IngestCore:
+    """Synchronous ingestion engine over one :class:`StreamMultiplexer`.
+
+    Owns admission control, per-stream reordering, the bounded ready
+    queues with their overload policies, and the feed loop that moves
+    ready frames into the execution core.  The asyncio server is a thin
+    I/O wrapper around exactly this object; the fault-injection tests
+    drive it directly.
+    """
+
+    def __init__(
+        self,
+        multiplexer: "StreamMultiplexer",
+        *,
+        capacity: "CapacityModel | None" = None,
+        config: Optional[IngestConfig] = None,
+        on_record: "Callable[[FrameRecord], None] | None" = None,
+    ) -> None:
+        self.multiplexer = multiplexer
+        self.capacity = capacity
+        self.config = config or IngestConfig()
+        if self.config.admission and capacity is None:
+            raise ValueError(
+                "admission control needs a CapacityModel; pass capacity= or "
+                "IngestConfig(admission=False)"
+            )
+        self._streams: Dict[str, _IngestStream] = {}
+        self._on_record = on_record
+        previous = multiplexer.on_record
+        if previous is not None:  # pragma: no cover - defensive chaining
+
+            def chained(record: FrameRecord) -> None:
+                previous(record)
+                self._record(record)
+
+            multiplexer.on_record = chained
+        else:
+            multiplexer.on_record = self._record
+        self._record_sink: List[FrameRecord] = []
+
+    # -- observation ----------------------------------------------------
+    def _record(self, record: FrameRecord) -> None:
+        if self._on_record is not None:
+            self._on_record(record)
+        else:
+            self._record_sink.append(record)
+
+    def take_records(self) -> List[FrameRecord]:
+        """Drain buffered frame records (no ``on_record`` callback mode)."""
+        records, self._record_sink = self._record_sink, []
+        return records
+
+    # -- admission ------------------------------------------------------
+    def admitted_demands(self) -> List[object]:
+        return [s.demand for s in self._streams.values() if s.demand is not None]
+
+    def projected_queueing(self) -> "QueueingEstimate | None":
+        """Capacity-budget projection for the currently admitted set."""
+        if self.capacity is None:
+            return None
+        return self.capacity.projection(
+            [d for d in self.admitted_demands() if d is not None]
+        )
+
+    def open_stream(
+        self,
+        stream_id: str,
+        *,
+        width: int,
+        height: int,
+        fps: float = 30.0,
+        window_size: int = 1,
+        rois: int = 1,
+        **mux_kwargs,
+    ) -> None:
+        """Admit and open one live stream (raises :class:`AdmissionError`).
+
+        ``fps``/``window_size``/``rois`` describe the stream's projected
+        demand for the capacity budget; extra keyword arguments go to
+        :meth:`StreamMultiplexer.add_stream`.
+        """
+        if stream_id in self._streams:
+            raise ValueError(f"stream '{stream_id}' already exists")
+        demand = None
+        if self.config.admission:
+            from ..soc.frame_cost import StreamDemand
+
+            demand = StreamDemand(fps=fps, window_size=window_size, rois=rois)
+            admitted = [d for d in self.admitted_demands() if d is not None]
+            if not self.capacity.admits(admitted, demand):
+                projected = self.capacity.projection([*admitted, demand])
+                raise AdmissionError(
+                    f"stream '{stream_id}' rejected: projected backend "
+                    f"utilization {projected.utilization:.3f} >= 1 "
+                    f"({len(admitted)} streams admitted)"
+                )
+        self.multiplexer.add_stream(
+            name=stream_id, width=width, height=height, **mux_kwargs
+        )
+        self._streams[stream_id] = _IngestStream(stream_id, self.config, demand)
+
+    # -- frame path -----------------------------------------------------
+    def _stream(self, stream_id: str) -> _IngestStream:
+        try:
+            return self._streams[stream_id]
+        except KeyError:
+            raise KeyError(f"unknown stream '{stream_id}'") from None
+
+    def push_frame(
+        self,
+        stream_id: str,
+        seq: int,
+        frame: np.ndarray,
+        truth: Optional[Sequence[Detection]] = None,
+    ) -> None:
+        """One frame off the wire: reorder, queue under policy, feed."""
+        stream = self._stream(stream_id)
+        if stream.closed:
+            raise RuntimeError(f"stream '{stream_id}' is closed")
+        before_gaps = stream.reorder.gaps
+        for rseq, item, gap in stream.reorder.push(seq, (frame, truth)):
+            self._enqueue_ready(stream, rseq, item, gap)
+        stream.faults.duplicates = stream.reorder.duplicates
+        stream.faults.late_drops = stream.reorder.late_drops
+        stream.faults.reordered = stream.reorder.reordered
+        stream.faults.gaps += stream.reorder.gaps - before_gaps
+        self._feed(stream)
+
+    def _enqueue_ready(
+        self, stream: _IngestStream, seq: int, item: object, gap: bool
+    ) -> None:
+        frame, truth = item
+        if (
+            len(stream.ready) >= self.config.queue_capacity
+            and self.config.overload_policy == "drop-oldest"
+        ):
+            # Shed the oldest queued frame; its absence is a gap whatever
+            # is submitted next must seal with an I-frame.  A gap the
+            # dropped frame itself carried transfers the same way.
+            stream.ready.popleft()
+            stream.faults.overload_drops += 1
+            stream.faults.gaps += 1
+            if stream.ready:
+                nseq, nframe, ntruth, _ = stream.ready[0]
+                stream.ready[0] = (nseq, nframe, ntruth, True)
+            else:
+                stream.pending_gap = True
+        # Under "degrade" the queue grows past capacity; the feed loop
+        # tags the backlog as degraded instead of shedding it.
+        stream.ready.append((seq, frame, truth, gap))
+
+    def _feed(self, stream: _IngestStream) -> None:
+        """Move ready frames into the execution core up to ``feed_depth``."""
+        mux = self.multiplexer
+        while stream.ready:
+            try:
+                in_flight = mux._executor.pending_for(stream.stream_id)
+            except KeyError:  # pragma: no cover - finished underneath us
+                break
+            if in_flight >= self.config.feed_depth:
+                break
+            seq, frame, truth, gap = stream.ready.popleft()
+            force = gap or stream.pending_gap
+            stream.pending_gap = False
+            tags: List[str] = []
+            if force:
+                tags.append("dropped-frame-gap")
+            defer = False
+            if (
+                self.config.overload_policy == "degrade"
+                and len(stream.ready) >= self.config.queue_capacity
+            ):
+                # Backlogged past capacity: widen the effective EW by
+                # deferring controller-scheduled I-frames (forced ones,
+                # like gap seals, still run).
+                defer = True
+                tags.append("queue-degrade")
+                stream.faults.degraded_submits += 1
+            try:
+                mux.submit(
+                    stream.stream_id,
+                    frame,
+                    truth=truth,
+                    force_inference=force,
+                    defer_inference=defer,
+                    degradation=",".join(tags),
+                )
+            except StreamFailedError:
+                stream.closed = True
+                raise
+            stream.accepted_seqs.append(seq)
+            stream.frames_submitted += 1
+
+    def pump(self) -> int:
+        """One scheduling round: process frames, then refill from queues."""
+        processed = self.multiplexer.pump()
+        for stream in self._streams.values():
+            if not stream.closed:
+                try:
+                    self._feed(stream)
+                except StreamFailedError:
+                    continue
+        return processed
+
+    # -- teardown -------------------------------------------------------
+    def close_stream(self, stream_id: str) -> SequenceResult:
+        """Flush, drain and finish one stream; other streams keep running.
+
+        This is the graceful per-connection teardown (client BYE or
+        disconnect): the reorder window is flushed (sealing trailing
+        gaps), the ready queue feeds through, and the session closes.
+        """
+        stream = self._stream(stream_id)
+        if not stream.closed:
+            try:
+                for rseq, item, gap in stream.reorder.flush():
+                    self._enqueue_ready(stream, rseq, item, gap)
+                while stream.ready:
+                    # drain() frees in-flight slots so _feed can move the
+                    # rest of the backlog in (feed_depth at a time).
+                    self.multiplexer.drain()
+                    self._feed(stream)
+                self.multiplexer.drain()
+            except StreamFailedError:
+                pass
+            stream.closed = True
+        try:
+            result = self.multiplexer.finish_stream(stream.stream_id)
+        finally:
+            del self._streams[stream_id]
+        return result
+
+    def abort_stream(self, stream_id: str) -> None:
+        """Drop a failed/abandoned stream without draining it."""
+        stream = self._streams.pop(stream_id, None)
+        if stream is None:
+            return
+        stream.closed = True
+
+    def drain(self) -> None:
+        """Feed every queue through and drain the execution core."""
+        for stream in self._streams.values():
+            if stream.closed:
+                continue
+            for rseq, item, gap in stream.reorder.flush():
+                self._enqueue_ready(stream, rseq, item, gap)
+        moved = True
+        while moved:
+            self.multiplexer.drain()
+            moved = False
+            for stream in self._streams.values():
+                if stream.closed or not stream.ready:
+                    continue
+                before = len(stream.ready)
+                try:
+                    self._feed(stream)
+                except StreamFailedError:
+                    continue
+                moved = moved or len(stream.ready) < before
+
+    def finish(self) -> Dict[str, SequenceResult]:
+        """Graceful server drain: flush everything, settle the shared SoC.
+
+        Returns per-stream results; streams lost to isolated failures are
+        omitted (their reasons are in ``multiplexer.stream_failures``).
+        """
+        self.drain()
+        results = self.multiplexer.finish()
+        for stream in self._streams.values():
+            stream.closed = True
+        return results
+
+    # -- introspection --------------------------------------------------
+    @property
+    def stream_ids(self) -> List[str]:
+        return list(self._streams)
+
+    def faults_for(self, stream_id: str) -> StreamFaults:
+        return self._stream(stream_id).faults
+
+    def accepted_seqs(self, stream_id: str) -> List[int]:
+        """Source sequence numbers submitted to the pipeline, in order."""
+        return list(self._stream(stream_id).accepted_seqs)
+
+    def stats(self) -> Dict[str, object]:
+        """Health/stats snapshot (the server's /stats endpoint body)."""
+        projection = self.projected_queueing()
+        streams = {}
+        for stream_id, stream in self._streams.items():
+            stats = self.multiplexer.stats_for(stream_id)
+            streams[stream_id] = {
+                "submitted": stats.frames_submitted,
+                "processed": stats.frames_processed,
+                "inference_frames": stats.inference_frames,
+                "degraded_frames": stats.degraded_frames,
+                "ready_queued": len(stream.ready),
+                "reorder_buffered": stream.reorder.buffered,
+                "faults": stream.faults.as_dict(),
+            }
+        payload: Dict[str, object] = {
+            "streams": streams,
+            "stream_count": len(self._streams),
+            "pending_frames": self.multiplexer.pending_frames,
+            "failures": dict(self.multiplexer.stream_failures),
+        }
+        if projection is not None:
+            payload["capacity"] = {
+                "utilization": projection.utilization,
+                "arrival_rate_hz": projection.arrival_rate_hz,
+                "mean_wait_s": (
+                    None
+                    if projection.mean_wait_s == float("inf")
+                    else projection.mean_wait_s
+                ),
+            }
+        return payload
+
+    def health(self) -> Dict[str, object]:
+        projection = self.projected_queueing()
+        overloaded = bool(projection is not None and projection.utilization >= 1.0)
+        return {
+            "status": "overloaded" if overloaded else "ok",
+            "streams": len(self._streams),
+            "pending_frames": self.multiplexer.pending_frames,
+            "failed_streams": len(self.multiplexer.stream_failures),
+        }

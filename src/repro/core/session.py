@@ -355,7 +355,7 @@ class EuphratesSession:
     def backend(self) -> "InferenceBackend":
         return self._backend
 
-    def next_frame_kind(self) -> FrameKind:
+    def next_frame_kind(self, *, assume_defer: bool = False) -> FrameKind:
         """Predict whether the next :meth:`submit` will infer or extrapolate.
 
         The prediction is exact for same-sized frames: the only inputs to
@@ -363,7 +363,9 @@ class EuphratesSession:
         mid-stream frame-size change (which resets the denoiser's reference
         and forces an I-frame) and an explicit ``force_inference``.  The
         multiplexer uses this to interleave cheap E-frames while batching
-        expensive I-frames.
+        expensive I-frames.  ``assume_defer`` predicts the decision as if
+        the frame were submitted with ``defer_inference=True`` (the serving
+        layer's ``degrade`` overload policy).
         """
         if self._closed:
             raise SessionClosedError(f"session '{self.name}' is finished")
@@ -372,7 +374,7 @@ class EuphratesSession:
         if not self._motion_possible:
             return FrameKind.INFERENCE
         if self._controller.should_infer(self._frames_since_inference):
-            return FrameKind.INFERENCE
+            return FrameKind.EXTRAPOLATION if assume_defer else FrameKind.INFERENCE
         return FrameKind.EXTRAPOLATION
 
     # ------------------------------------------------------------------
@@ -384,6 +386,8 @@ class EuphratesSession:
         *,
         truth: Optional[Sequence[Detection]] = None,
         force_inference: bool = False,
+        defer_inference: bool = False,
+        degradation: str = "",
     ) -> FrameResult:
         """Process one captured frame and return its :class:`FrameResult`.
 
@@ -392,6 +396,12 @@ class EuphratesSession:
         source sequence).  ``force_inference`` turns this frame into an
         I-frame regardless of the window controller — a mid-stream reset,
         e.g. after a scene cut signalled by the application.
+        ``defer_inference`` does the opposite under overload: a controller-
+        scheduled inference is postponed (the window effectively widens) so
+        the frame extrapolates instead of stalling the queue; frames that
+        *must* infer (first frame, no motion field, explicit force) still
+        do.  ``degradation`` tags the emitted telemetry event with the
+        serving-layer context that requested the special handling.
         """
         if self._closed:
             raise SessionClosedError(f"session '{self.name}' is finished")
@@ -400,10 +410,12 @@ class EuphratesSession:
         if self._oracle is not None:
             self._oracle.observe(frame_index, frame, truth)
             try:
-                return self._process(frame_index, frame, force_inference)
+                return self._process(
+                    frame_index, frame, force_inference, defer_inference, degradation
+                )
             except BaseException:
                 # Keep the oracle in lockstep with the frame counter so the
-                # caller can retry (e.g. resubmit with the truth a tracking
+                # caller can retry (e.g. resubmitting with the truth a tracking
                 # backend needed to start).  If the ISP already ran, its
                 # temporal reference has advanced and a retry is functional
                 # but not bit-exact — failures before the ISP (backend
@@ -415,10 +427,17 @@ class EuphratesSession:
                 "per-frame truth is only accepted by sessions opened without "
                 "a source sequence"
             )
-        return self._process(frame_index, frame, force_inference)
+        return self._process(
+            frame_index, frame, force_inference, defer_inference, degradation
+        )
 
     def _process(
-        self, frame_index: int, frame: np.ndarray, force_inference: bool
+        self,
+        frame_index: int,
+        frame: np.ndarray,
+        force_inference: bool,
+        defer_inference: bool = False,
+        degradation: str = "",
     ) -> FrameResult:
         """The per-frame algorithm body (split out for submit's rollback)."""
         ops_before = self._extrapolator.total_operations
@@ -433,12 +452,23 @@ class EuphratesSession:
         motion_field = processed.motion_field
 
         can_extrapolate = motion_field is not None and bool(self._last_detections)
+        controller_wants_inference = self._controller.should_infer(
+            self._frames_since_inference
+        )
         must_infer = (
             force_inference
             or frame_index == 0
             or not can_extrapolate
-            or self._controller.should_infer(self._frames_since_inference)
+            or (controller_wants_inference and not defer_inference)
         )
+        if defer_inference and controller_wants_inference and not must_infer:
+            # The overload policy suppressed a scheduled I-frame; record the
+            # widened window in telemetry so degradation stays observable.
+            degradation = (
+                f"{degradation},deferred-inference"
+                if degradation
+                else "deferred-inference"
+            )
 
         if must_infer:
             predicted = None
@@ -481,6 +511,7 @@ class EuphratesSession:
                     self._extrapolator.total_operations - ops_before
                 ),
                 stream=self.name,
+                degradation=degradation,
             )
         )
         self._next_index += 1

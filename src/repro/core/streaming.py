@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -42,6 +42,7 @@ from .executor import (
     FrameRecord,
     ShardedExecutor,
     ShardSchedule,
+    StreamFailedError,
 )
 from .types import Detection, FrameKind, SequenceResult
 
@@ -72,6 +73,9 @@ class StreamStats:
     frames_processed: int = 0
     inference_frames: int = 0
     extrapolation_frames: int = 0
+    #: Frames processed under duress (telemetry carried a degradation tag:
+    #: ``dropped-frame-gap``, ``deferred-inference``, ``queue-degrade``...).
+    degraded_frames: int = 0
     #: Seconds spent inside ``session.submit`` for this stream.
     busy_s: float = 0.0
     #: Seconds frames spent queued before the scheduler picked them.
@@ -262,6 +266,8 @@ class StreamMultiplexer:
         extrapolation_on_cpu: bool = False,
         workers: int = 1,
         transport: str = "auto",
+        isolate_failures: bool = False,
+        on_record: "Callable[[FrameRecord], None] | None" = None,
     ) -> None:
         schedule = ShardSchedule(
             policy=policy,
@@ -276,8 +282,16 @@ class StreamMultiplexer:
         self.max_inference_batch = max_inference_batch
         self.policy = policy
         self.deadline_frames = deadline_frames
+        self.isolate_failures = bool(isolate_failures)
+        #: Observer invoked with every absorbed :class:`FrameRecord` (the
+        #: serving layer's completion hook).  Observe-only.
+        self.on_record = on_record
         self._executor = ShardedExecutor(
-            pipeline, workers=workers, transport=transport, schedule=schedule
+            pipeline,
+            workers=workers,
+            transport=transport,
+            schedule=schedule,
+            isolate_failures=isolate_failures,
         )
         self._network = network
         self._pool = soc.open_pool() if soc is not None else None
@@ -385,6 +399,8 @@ class StreamMultiplexer:
         *,
         truth: Optional[Sequence[Detection]] = None,
         force_inference: bool = False,
+        defer_inference: bool = False,
+        degradation: str = "",
     ) -> None:
         """Enqueue one captured frame for ``stream_id`` (non-blocking).
 
@@ -392,10 +408,20 @@ class StreamMultiplexer:
         in-process, into a shared-memory slot under worker shards): live
         capture loops typically reuse one buffer per capture, which would
         otherwise silently rewrite every frame still in flight.
+
+        ``defer_inference`` suppresses a controller-scheduled I-frame for
+        this frame (the serving layer's overload degradation — forced and
+        first-frame inference still run); ``degradation`` tags the frame's
+        telemetry with the serving-layer events that led here.
         """
         stream = self._stream(stream_id)
         self._executor.submit(
-            stream_id, frame, truth=truth, force_inference=force_inference
+            stream_id,
+            frame,
+            truth=truth,
+            force_inference=force_inference,
+            defer_inference=defer_inference,
+            degradation=degradation,
         )
         stats = stream.stats
         stats.frames_submitted += 1
@@ -424,6 +450,8 @@ class StreamMultiplexer:
                 stats.inference_frames += 1
             else:
                 stats.extrapolation_frames += 1
+            if record.telemetry is not None and record.telemetry.degradation:
+                stats.degraded_frames += 1
             stats.busy_s += record.busy_s
             stats.wait_s += record.wait_s
             if record.batch_id >= 0:
@@ -434,6 +462,8 @@ class StreamMultiplexer:
             if stream.meter is not None and record.telemetry is not None:
                 # Price what actually happened, as it happens.
                 stream.meter.record(record.telemetry, batch_size=record.batch_size)
+            if self.on_record is not None:
+                self.on_record(record)
         return len(records)
 
     def pump(self) -> int:
@@ -463,19 +493,50 @@ class StreamMultiplexer:
     # ------------------------------------------------------------------
     # Completion
     # ------------------------------------------------------------------
+    @property
+    def stream_failures(self) -> Dict[str, str]:
+        """stream id -> reason, for streams lost to an isolated failure."""
+        return self._executor.stream_failures
+
+    def finish_stream(self, stream_id: str) -> SequenceResult:
+        """Close one stream (its queue already drained) and return its result.
+
+        The serving layer's per-connection teardown: other streams keep
+        running and the multiplexer stays open for new ones.  Raises
+        :class:`~repro.core.executor.StreamFailedError` if the stream was
+        lost to an isolated failure.
+        """
+        stream = self._stream(stream_id)
+        if stream.result is None:
+            result, _stats = self._executor.finish_stream(stream_id)
+            stream.result = result
+            # Records for other streams can surface while the shard
+            # catches up; keep the stats honest.
+            self._absorb(self._executor.pump())
+        return stream.result
+
     def finish(self) -> Dict[str, SequenceResult]:
         """Drain every queue, close every session, return per-stream results.
 
         Also releases the execution resources (worker processes and
         shared-memory segments when ``workers > 1``), so a finished
-        multiplexer cannot accept new streams.
+        multiplexer cannot accept new streams.  Under ``isolate_failures``
+        streams lost to a failure are skipped (see :attr:`stream_failures`
+        for the reasons); without isolation the failure propagates as ever.
         """
         self.drain()
         results: Dict[str, SequenceResult] = {}
         for name in self._order:
             stream = self._streams[name]
             if stream.result is None:
-                result, _stats = self._executor.finish_stream(name)
+                if self.isolate_failures and name in self._executor.stream_failures:
+                    continue
+                try:
+                    result, _stats = self._executor.finish_stream(name)
+                except StreamFailedError:
+                    if not self.isolate_failures:
+                        raise
+                    continue
                 stream.result = result
             results[name] = stream.result
         # Late records can surface while worker shards wind down.

@@ -67,6 +67,11 @@ class FrameTelemetry:
     extrapolation_ops: float = 0.0
     #: Name of the session/stream that processed the frame.
     stream: str = ""
+    #: Comma-separated degradation tags attached by the serving layer when
+    #: the frame was handled under duress (e.g. ``"dropped-frame-gap"``,
+    #: ``"deferred-inference"``, ``"queue-degrade"``).  Empty on the normal
+    #: path; observe-only, like every other telemetry field.
+    degradation: str = ""
 
 
 @dataclass

@@ -92,7 +92,115 @@ def build_parser() -> argparse.ArgumentParser:
     run_all_parser = subparsers.add_parser("run-all", help="run every registered experiment")
     _add_run_options(run_all_parser)
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="serve the pipeline over TCP (asyncio ingestion front end)",
+        description="Host the length-prefixed frame protocol of "
+        "repro.core.server on a TCP port: clients HELLO with a declared "
+        "fps/window demand (admitted against the CapacityModel M/D/1 "
+        "budget), stream uint8 frames, and BYE for their results.  "
+        "Ctrl-C drains gracefully and prints the shared-SoC energy "
+        "aggregate.",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument(
+        "--port", type=int, default=7625, help="TCP port (0 picks a free one)"
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker shards serving the streams (default: 1, in-process)",
+    )
+    serve_parser.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=32,
+        help="per-stream bounded ready-queue depth (default: 32)",
+    )
+    serve_parser.add_argument(
+        "--overload-policy",
+        choices=["drop-oldest", "degrade"],
+        default="degrade",
+        help="what a full ready queue does (default: degrade)",
+    )
+    serve_parser.add_argument(
+        "--reorder-window",
+        type=int,
+        default=8,
+        help="out-of-order arrivals buffered before a gap is sealed (default: 8)",
+    )
+    serve_parser.add_argument(
+        "--no-admission",
+        action="store_true",
+        help="accept every HELLO instead of enforcing the capacity budget",
+    )
+    serve_parser.add_argument(
+        "--seed", type=int, default=1, help="backend seed (default: 1)"
+    )
+    PipelineSpec.add_cli_options(serve_parser)
+
     return parser
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Host the TCP serving front end until interrupted, then drain."""
+    from ..core.backends import tracking_backend_for
+    from ..core.ingest import IngestConfig, IngestCore
+    from ..core.server import ServerThread
+    from ..core.streaming import StreamMultiplexer
+    from ..nn.models import build_mdnet
+    from ..soc.frame_cost import CapacityModel
+
+    spec = PipelineSpec.from_cli_args(args)
+    soc = spec.vision_soc()
+    network = build_mdnet()
+    multiplexer = StreamMultiplexer(
+        spec.build(tracking_backend_for("mdnet", seed=args.seed)),
+        soc=soc,
+        network=network,
+        extrapolation_on_cpu=spec.extrapolation_on_cpu,
+        workers=args.workers,
+        transport=spec.transport,
+        isolate_failures=True,
+    )
+    ingest = IngestCore(
+        multiplexer,
+        capacity=CapacityModel(
+            soc, network, extrapolation_on_cpu=spec.extrapolation_on_cpu
+        ),
+        config=IngestConfig(
+            queue_capacity=args.queue_capacity,
+            overload_policy=args.overload_policy,
+            reorder_window=args.reorder_window,
+            admission=not args.no_admission,
+        ),
+    )
+    server = ServerThread(ingest, host=args.host, port=args.port).start()
+    print(
+        f"serving {spec.describe()} on {args.host}:{server.port} "
+        f"({args.workers} worker(s), {args.overload_policy} overload policy, "
+        f"admission {'off' if args.no_admission else 'on'}); Ctrl-C to drain"
+    )
+    try:
+        import time as _time
+
+        while True:
+            _time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("draining...", file=sys.stderr)
+    report = server.shutdown()
+    if report is not None:
+        print(
+            f"served {report.frames_processed} frames "
+            f"({report.inference_frames} I / {report.extrapolation_frames} E) "
+            f"across {len(report.streams)} stream(s); "
+            f"modeled energy {report.aggregate_energy_j:.3f} J "
+            f"({report.aggregate_energy_per_frame_j * 1e3:.2f} mJ/frame, "
+            "exact shared-SoC aggregate)"
+        )
+    return 0
 
 
 def _make_context(args: argparse.Namespace) -> ExperimentContext:
@@ -147,6 +255,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run(specs, args)
     if args.command == "run-all":
         return _run(list_experiments(), args)
+    if args.command == "serve":
+        return cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -21,13 +21,22 @@ from .motion_controller import MotionControllerIP
 from .cpu import CPUHost
 from .dram import DRAMModel
 from .soc import EnergyBreakdown, FrameSchedule, VisionSoC
-from .frame_cost import CostMeter, FrameCost, QueueingEstimate, SharedSoCPool
+from .frame_cost import (
+    CapacityModel,
+    CostMeter,
+    FrameCost,
+    QueueingEstimate,
+    SharedSoCPool,
+    StreamDemand,
+)
 
 __all__ = [
+    "CapacityModel",
     "CostMeter",
     "FrameCost",
     "QueueingEstimate",
     "SharedSoCPool",
+    "StreamDemand",
     "NNXConfig",
     "MotionControllerConfig",
     "DRAMConfig",

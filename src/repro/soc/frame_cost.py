@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from ..core.types import FrameKind, FrameTelemetry
 
@@ -467,3 +467,121 @@ class SharedSoCPool:
             utilization=utilization,
             mean_wait_s=_md1_wait_s(utilization, service_time),
         )
+
+
+# ----------------------------------------------------------------------
+# Admission control (serving front end)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StreamDemand:
+    """Projected steady-state backend demand of one camera stream.
+
+    What an admission decision knows *before* any frame arrives: the
+    stream's capture rate, the extrapolation window its pipeline will run
+    (1 I-frame per ``window_size`` frames), and the ROI count its E-frames
+    are expected to move.
+    """
+
+    fps: float
+    window_size: int = 1
+    rois: int = 1
+
+    def __post_init__(self) -> None:
+        if self.fps <= 0:
+            raise ValueError(f"fps must be positive, got {self.fps}")
+        if self.window_size < 1:
+            raise ValueError(f"window_size must be >= 1, got {self.window_size}")
+        if self.rois < 0:
+            raise ValueError(f"rois must be >= 0, got {self.rois}")
+
+
+class CapacityModel:
+    """Backend capacity budget for stream admission, priced like the meter.
+
+    Uses exactly the per-frame latency constants :class:`CostMeter` prices
+    frames with (NNX inference latency for I-frames, MC/CPU extrapolation
+    latency for E-frames), so the admission projection and the measured
+    :meth:`SharedSoCPool.queueing_estimate` agree by construction.  A
+    stream running extrapolation window *W* spends one inference plus
+    ``W - 1`` extrapolations every *W* frames, hence a mean backend
+    service time of ``(I + (W-1)·E) / W``; at ``fps`` frames per second it
+    claims ``fps × service`` of the shared backend.  Admission is the
+    M/D/1 steady-state criterion: the projected pool **rejects exactly
+    when total utilisation reaches 1** (no steady state, infinite wait).
+    """
+
+    def __init__(
+        self,
+        soc: "VisionSoC",
+        network: "NetworkSpec",
+        *,
+        extrapolation_on_cpu: bool = False,
+    ) -> None:
+        self.soc = soc
+        self.network = network
+        self.extrapolation_on_cpu = extrapolation_on_cpu
+        self._inference_latency_s = soc.nnx.inference_latency_s(network)
+        self._cpu_cost = soc.cpu.extrapolation_cost()
+
+    # -- per-stream terms ----------------------------------------------
+    def inference_latency_s(self) -> float:
+        return self._inference_latency_s
+
+    def extrapolation_latency_s(self, rois: int = 1) -> float:
+        rois = max(0, int(rois))
+        if self.extrapolation_on_cpu:
+            return self._cpu_cost.latency_s if rois else 0.0
+        return self.soc.motion_controller.extrapolation_latency_s(rois)
+
+    def frame_service_time_s(self, window_size: int = 1, rois: int = 1) -> float:
+        """Mean backend time per frame at extrapolation window ``W``."""
+        window = max(1, int(window_size))
+        i_time = self._inference_latency_s
+        e_time = self.extrapolation_latency_s(rois)
+        return (i_time + (window - 1) * e_time) / window
+
+    def stream_utilization(self, demand: StreamDemand) -> float:
+        """Fraction of the shared backend one stream claims."""
+        return demand.fps * self.frame_service_time_s(
+            demand.window_size, demand.rois
+        )
+
+    # -- pool projection -----------------------------------------------
+    def projection(self, demands: Sequence[StreamDemand]) -> QueueingEstimate:
+        """Projected M/D/1 estimate for a pool serving ``demands``.
+
+        Mirrors :meth:`SharedSoCPool.queueing_estimate` before any frame
+        exists: aggregate arrival rate, demand-weighted mean service time,
+        summed utilisation (can exceed 1 → ``inf`` wait).
+        """
+        demands = list(demands)
+        arrival_rate = sum(demand.fps for demand in demands)
+        if arrival_rate <= 0:
+            return QueueingEstimate(
+                arrival_rate_hz=0.0,
+                service_time_s=0.0,
+                utilization=0.0,
+                mean_wait_s=0.0,
+            )
+        utilization = sum(self.stream_utilization(demand) for demand in demands)
+        # backend seconds per arriving frame == utilisation / arrival rate.
+        service_time = utilization / arrival_rate
+        return QueueingEstimate(
+            arrival_rate_hz=arrival_rate,
+            service_time_s=service_time,
+            utilization=utilization,
+            mean_wait_s=_md1_wait_s(utilization, service_time),
+        )
+
+    def admits(
+        self,
+        admitted: Sequence[StreamDemand],
+        candidate: StreamDemand,
+    ) -> bool:
+        """Whether the pool stays in steady state with ``candidate`` added.
+
+        Rejects **exactly** when the projected utilisation of the admitted
+        set plus the candidate reaches 1 (the M/D/1 wait diverges).
+        """
+        projected = self.projection([*admitted, candidate])
+        return projected.utilization < 1.0

@@ -295,3 +295,106 @@ class TestShardedEquivalenceProperty:
                 assert_results_identical(expected, result)
         finally:
             executor.close()
+
+
+class TestFailureIsolation:
+    """A crashed stream (or worker) fails only itself under isolation."""
+
+    def _open_pair(self, workers: int, sequence):
+        spec = PipelineSpec(extrapolation_window=4)
+        executor = ShardedExecutor(
+            spec.build(tracking_backend_for("mdnet")),
+            workers=workers,
+            isolate_failures=True,
+        )
+        executor.open_stream(
+            "bad", width=sequence.width, height=sequence.height, name="bad"
+        )
+        executor.open_stream("good", source=sequence, name="good")
+        return executor
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_stream_failure_scopes_to_stream(self, small_sequence, workers):
+        executor = self._open_pair(workers, small_sequence)
+        try:
+            # First frame of a live tracking stream with no truth: its
+            # session raises inside the shard.
+            executor.submit("bad", _frame(8, shape=small_sequence.frame(0).shape))
+            for index, frame in small_sequence.iter_frames():
+                executor.submit("good", frame)
+            executor.drain()  # must NOT raise: only 'bad' is lost
+            failures = executor.stream_failures
+            assert set(failures) == {"bad"}
+            assert "no annotated objects" in failures["bad"]
+            from repro.core.executor import StreamFailedError
+
+            with pytest.raises(StreamFailedError, match="no annotated objects"):
+                executor.finish_stream("bad")
+            result, _stats = executor.finish_stream("good")
+            assert len(result.frames) == len(small_sequence)
+        finally:
+            executor.close()
+
+    def test_isolated_failure_matches_serial_for_survivors(self, small_sequence):
+        """The surviving stream's output is untouched by its neighbour dying."""
+        spec = PipelineSpec(extrapolation_window=4)
+        session = spec.build(tracking_backend_for("mdnet")).open_session(
+            source=small_sequence
+        )
+        for _index, frame in small_sequence.iter_frames():
+            session.submit(frame)
+        expected = session.finish()
+
+        executor = self._open_pair(2, small_sequence)
+        try:
+            executor.submit("bad", _frame(8, shape=small_sequence.frame(0).shape))
+            for _index, frame in small_sequence.iter_frames():
+                executor.submit("good", frame)
+            executor.drain()
+            result, _stats = executor.finish_stream("good")
+            assert_results_identical(expected, result)
+        finally:
+            executor.close()
+
+    def test_worker_death_fails_only_its_streams(self, small_sequence):
+        from repro.core.executor import StreamFailedError
+
+        executor = self._open_pair(2, small_sequence)
+        try:
+            bad_shard = executor.shard_of("bad")
+            good_shard = executor.shard_of("good")
+            assert bad_shard is not good_shard  # round-robin placement
+            bad_shard.process.kill()
+            bad_shard.process.join(timeout=10.0)
+            # Submits to the dead shard surface a descriptive per-stream
+            # failure; the sibling shard keeps serving.
+            with pytest.raises(StreamFailedError, match="died unexpectedly"):
+                for _ in range(64):
+                    executor.submit(
+                        "bad", _frame(9, shape=small_sequence.frame(0).shape)
+                    )
+            for _index, frame in small_sequence.iter_frames():
+                executor.submit("good", frame)
+            executor.drain()
+            assert "bad" in executor.stream_failures
+            assert "died unexpectedly" in executor.stream_failures["bad"]
+            result, _stats = executor.finish_stream("good")
+            assert len(result.frames) == len(small_sequence)
+        finally:
+            executor.close()
+
+    def test_default_mode_still_propagates_raw_errors(self, small_sequence):
+        """Without isolation the historical semantics hold: the in-process
+        path re-raises the session exception itself (see also
+        test_worker_failure_surfaces_as_shard_error for workers=2)."""
+        spec = PipelineSpec(extrapolation_window=4)
+        executor = ShardedExecutor(
+            spec.build(tracking_backend_for("mdnet")), workers=1
+        )
+        try:
+            executor.open_stream("live", width=48, height=48, name="live")
+            executor.submit("live", _frame(8, shape=(48, 48)))
+            with pytest.raises(ValueError, match="no annotated objects"):
+                executor.drain()
+        finally:
+            executor.close()
