@@ -8,16 +8,25 @@ Run from the repository root:
 
 Each run measures fps / per-frame latency / analytical op counts for the
 vectorized three-step search (against the scalar oracle it must beat), the
-exhaustive search under every candidate-scan policy (full/spiral/pruned),
-and the fixed-point float-frame path, then **appends** a dated entry to the
-trajectory file — the perf history accumulates across commits instead of
-being overwritten.  A legacy single-payload ``BENCH_motion.json`` is
-migrated into the first trajectory entry automatically.
+exhaustive search under every candidate-scan policy
+(full/spiral/pruned/histogram), and the fixed-point float-frame path, then
+**appends** a dated entry to the trajectory file — the perf history
+accumulates across commits instead of being overwritten.  A legacy
+single-payload ``BENCH_motion.json`` is migrated into the first trajectory
+entry automatically.
+
+``--kernel-backend numba`` measures the compiled SAD backend; the entry then
+also times the numpy-backend pruned ES at each resolution and records the
+``es_pruned_speedup_vs_numpy`` ratio the accel floors guard.  The entry
+always records both the requested and the *active* backend (numba degrades
+to numpy when Numba is absent), so the trajectory never lies about what ran.
 
 ``--guard`` enforces the perf floors stored in the file (the CI
-``perf-guard`` job runs this): the process exits non-zero when the fresh
-measurement's vectorized/scalar TSS speedup or pruned-vs-full ES speedup
-drops below its floor.
+``perf-guard`` and ``kernels-accel`` jobs run this): the process exits
+non-zero when the fresh measurement's vectorized/scalar TSS speedup or
+pruned-vs-full ES speedup drops below its floor — or, under
+``--kernel-backend numba``, when the backend failed to activate or its
+pruned-ES speedup over numpy missed the accel floor.
 
 Commit the refreshed JSON whenever the motion hot path changes.
 """
@@ -31,14 +40,24 @@ import sys
 from datetime import datetime, timezone
 from pathlib import Path
 
-from repro.harness.perf import RESOLUTIONS, benchmark_motion_estimation
+from repro.harness.perf import (
+    RESOLUTIONS,
+    _time_per_frame,
+    benchmark_motion_estimation,
+    synthetic_luma_sequence,
+)
+from repro.motion.kernels import KERNEL_BACKENDS
 
 #: Floors seeded into a fresh trajectory file.  The committed
 #: ``BENCH_motion.json`` carries the authoritative values; edit them there
 #: (with justification) rather than here.
 DEFAULT_FLOORS = {
     "min_tss_speedup_720p": 8.0,
-    "min_es_pruned_speedup_vs_full_720p": 2.0,
+    "min_es_pruned_speedup_vs_full_720p": 2.5,
+    # The histogram policy's global candidate ranking prunes earlier than
+    # the fixed spiral on panning scenes (the bench's synthetic sequence
+    # pans): measured ~5.5x full ES at 720p, floored with headroom.
+    "min_es_histogram_speedup_vs_full_720p": 3.5,
     # Ceiling on the modeled per-stream energy of the multi-stream bench
     # (run_stream_bench.py --guard).  The modeled energy is deterministic
     # for a given spec/workload, so a breach means a real regression in the
@@ -46,6 +65,12 @@ DEFAULT_FLOORS = {
     # ci preset prices 13.99 mJ/frame batched vs 14.24 unbatched) or in the
     # SoC cost model itself — not measurement noise.
     "max_stream_energy_per_frame_mj": 14.1,
+    # Accel floors: checked only on entries measured with
+    # --kernel-backend numba (and each only at resolutions the preset
+    # actually measured).  The compiled backend must genuinely activate and
+    # beat the numpy pruned ES by this factor, else the guard fails.
+    "min_numba_es_pruned_speedup_vs_numpy_720p": 2.0,
+    "min_numba_es_pruned_speedup_vs_numpy_1080p": 2.0,
 }
 
 #: Presets: name -> (resolutions, frames, include_scalar).
@@ -71,7 +96,15 @@ def load_trajectory(path: Path) -> dict:
 
 
 def check_floors(entry: dict, floors: dict) -> list:
-    """Return human-readable violations of the stored perf floors."""
+    """Return human-readable violations of the stored perf floors.
+
+    The base TSS/pruned floors apply to every guarded run.  The accel
+    (``min_numba_*``) floors apply only to entries measured with
+    ``--kernel-backend numba``, and each only at resolutions the preset
+    measured; on such entries the backend must also have actually activated
+    (a silent degrade to numpy would otherwise green-light the guard while
+    measuring the wrong thing).
+    """
     measured = {
         result["resolution"]: result for result in entry.get("results", [])
     }
@@ -79,6 +112,11 @@ def check_floors(entry: dict, floors: dict) -> list:
     checks = [
         ("min_tss_speedup_720p", "720p", "speedup"),
         ("min_es_pruned_speedup_vs_full_720p", "720p", "es_pruned_speedup_vs_full"),
+        (
+            "min_es_histogram_speedup_vs_full_720p",
+            "720p",
+            "es_histogram_speedup_vs_full",
+        ),
     ]
     for floor_key, resolution, metric in checks:
         floor = floors.get(floor_key)
@@ -96,7 +134,68 @@ def check_floors(entry: dict, floors: dict) -> list:
             violations.append(
                 f"{floor_key}: measured {value:.2f}x < floor {floor:.2f}x"
             )
+
+    if entry.get("kernel_backend") == "numba":
+        if entry.get("kernel_backend_active") != "numba":
+            violations.append(
+                "kernel_backend: numba requested but inactive (is the "
+                "[accel] extra installed?) — the guarded run measured numpy"
+            )
+        for resolution in ("720p", "1080p"):
+            floor = floors.get(f"min_numba_es_pruned_speedup_vs_numpy_{resolution}")
+            result = measured.get(resolution)
+            if floor is None or result is None:
+                continue
+            value = result.get("es_pruned_speedup_vs_numpy")
+            if value is None:
+                violations.append(
+                    f"min_numba_es_pruned_speedup_vs_numpy_{resolution}: "
+                    "metric 'es_pruned_speedup_vs_numpy' was not measured"
+                )
+            elif value < floor:
+                violations.append(
+                    f"min_numba_es_pruned_speedup_vs_numpy_{resolution}: "
+                    f"measured {value:.2f}x < floor {floor:.2f}x"
+                )
     return violations
+
+
+def add_numpy_pruned_baseline(entry: dict, num_frames: int, seed: int = 0) -> None:
+    """Time the numpy-backend pruned ES and attach the backend speedup.
+
+    Mutates each resolution result in ``entry`` with
+    ``es_pruned_numpy_s_per_frame`` and ``es_pruned_speedup_vs_numpy`` so a
+    ``--kernel-backend numba`` entry carries its own baseline — the ratio
+    the accel floors guard, self-contained in one trajectory entry.
+    """
+    from repro.motion.block_matching import (
+        BlockMatcher,
+        BlockMatchingConfig,
+        SearchPolicy,
+        SearchStrategy,
+    )
+
+    matcher = BlockMatcher(
+        BlockMatchingConfig(
+            block_size=entry["block_size"],
+            search_range=entry["search_range"],
+            strategy=SearchStrategy.EXHAUSTIVE,
+            search_policy=SearchPolicy.PRUNED,
+            kernel_backend="numpy",
+        )
+    )
+    for result in entry.get("results", []):
+        if "es_pruned_s_per_frame" not in result:
+            continue
+        frames = synthetic_luma_sequence(
+            result["height"], result["width"], num_frames, seed=seed
+        )
+        matcher.estimate(frames[1], frames[0])  # warm-up
+        numpy_s = _time_per_frame(matcher.estimate, frames)
+        result["es_pruned_numpy_s_per_frame"] = numpy_s
+        result["es_pruned_speedup_vs_numpy"] = (
+            numpy_s / result["es_pruned_s_per_frame"]
+        )
 
 
 def main() -> int:
@@ -128,6 +227,13 @@ def main() -> int:
         help="skip the exhaustive-search policy timings",
     )
     parser.add_argument(
+        "--kernel-backend",
+        choices=list(KERNEL_BACKENDS),
+        default="numpy",
+        help="SAD kernel backend to measure; 'numba' also times the numpy "
+        "pruned-ES baseline and records the backend speedup (default: numpy)",
+    )
+    parser.add_argument(
         "--guard",
         action="store_true",
         help="fail (exit 1) when the fresh measurement violates the perf "
@@ -140,12 +246,16 @@ def main() -> int:
     if args.guard and (args.skip_scalar or args.skip_exhaustive):
         parser.error("--guard needs the scalar and exhaustive measurements")
 
+    num_frames = args.frames if args.frames is not None else preset_frames
     entry = benchmark_motion_estimation(
         resolutions=resolutions,
-        num_frames=args.frames if args.frames is not None else preset_frames,
+        num_frames=num_frames,
         include_scalar=include_scalar,
         include_exhaustive=not args.skip_exhaustive,
+        kernel_backend=args.kernel_backend,
     )
+    if args.kernel_backend != "numpy" and not args.skip_exhaustive:
+        add_numpy_pruned_baseline(entry, num_frames)
     entry["date"] = datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
     entry["preset"] = args.preset
     entry["python"] = platform.python_version()
@@ -166,6 +276,11 @@ def main() -> int:
                 f"{result['es_pruned_fps']:.1f} fps "
                 f"({result['es_pruned_speedup_vs_full']:.1f}x, "
                 f"{result['es_pruned_evaluated_fraction']:.1%} candidates)"
+            )
+        if "es_pruned_speedup_vs_numpy" in result:
+            line += (
+                f"; {entry['kernel_backend_active']} backend "
+                f"{result['es_pruned_speedup_vs_numpy']:.1f}x numpy pruned ES"
             )
         if "fixed_point_fps" in result:
             line += f"; Q8.4 TSS {result['fixed_point_fps']:.1f} fps"

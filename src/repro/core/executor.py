@@ -1151,6 +1151,23 @@ class ShardedExecutor:
     ``workers = N`` forks N shard workers; streams are placed round-robin,
     frames cross over the shared-memory transport, and only small control
     messages are ever pickled.
+
+    Lifecycle: :meth:`open_stream` places a stream on a shard (the
+    placement is deterministic in arrival order — worker count never
+    changes outputs), :meth:`submit` hands it frames, :meth:`pump` /
+    :meth:`drain` collect completed :class:`FrameRecord` batches, and
+    :meth:`finish_stream` closes one stream and returns its
+    :class:`~repro.core.types.SequenceResult` plus session stats.
+    :meth:`run_sequences` wraps that cycle for batch sweeps; the serving
+    front end (:class:`~repro.core.ingest.IngestCore` via
+    :class:`~repro.core.streaming.StreamMultiplexer`) drives it
+    incrementally.  Always :meth:`close` (or use as a context manager) so
+    worker processes and shared-memory segments are reclaimed.
+
+    ``isolate_failures=True`` turns a stream crash inside a shard into a
+    per-stream failure recorded in :attr:`stream_failures` instead of
+    tearing down the executor — the serving path uses this so one bad
+    camera cannot take down the fleet.
     """
 
     def __init__(

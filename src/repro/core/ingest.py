@@ -399,6 +399,20 @@ class IngestCore:
     ready frames into the execution core.  The asyncio server is a thin
     I/O wrapper around exactly this object; the fault-injection tests
     drive it directly.
+
+    Lifecycle: :meth:`open_stream` runs M/D/1 admission against the
+    ``capacity`` model and registers the stream (raising
+    :class:`AdmissionError` when the fleet would be overloaded),
+    :meth:`push_frame` accepts a possibly out-of-order frame into the
+    stream's :class:`ReorderWindow`, :meth:`pump` moves every ready frame
+    into the execution core (applying the configured overload policy —
+    ``drop-oldest`` or ``degrade`` — when a ready queue overflows), and
+    :meth:`close_stream` seals remaining gaps and returns the stream's
+    :class:`~repro.core.types.SequenceResult`.  :meth:`drain` /
+    :meth:`finish` flush everything at shutdown; :meth:`stats` and
+    :meth:`health` expose the counters the serve protocol reports.  All
+    knobs live on :class:`IngestConfig`; the byte-level framing this
+    engine sits behind is specified in ``docs/wire-protocol.md``.
     """
 
     def __init__(

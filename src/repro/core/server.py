@@ -448,7 +448,22 @@ class ServerThread:
 
 
 class ServeClient:
-    """Blocking-socket client for the serve protocol (tests + load gen)."""
+    """Blocking-socket client for the serve protocol (tests + load gen).
+
+    Speaks the length-prefixed wire protocol of ``docs/wire-protocol.md``
+    over one TCP connection: :meth:`hello` opens a stream handle (raising
+    :class:`AdmissionError` on an admission REJECT), :meth:`send_frame`
+    ships a luma frame with optional ground truth as a binary FRAME
+    message, and :meth:`bye` closes the handle and returns the server's
+    end-of-stream summary.  Inbound RESULT/ERROR messages are collected in
+    :attr:`results` / :attr:`errors` as a side effect of :meth:`poll` and
+    :meth:`wait_for` (results arrive asynchronously — frames are priced
+    and batched server-side, so one frame does not mean one immediate
+    result).  :meth:`send_raw` writes arbitrary bytes, which is how the
+    fault-injection tests corrupt the stream mid-flight.  The client is
+    deliberately synchronous and single-threaded; it is a test instrument,
+    not a production SDK.
+    """
 
     def __init__(self, host: str, port: int, *, timeout: float = 30.0) -> None:
         self._sock = socket.create_connection((host, port), timeout=timeout)

@@ -31,6 +31,7 @@ from dataclasses import dataclass, fields, replace
 from typing import TYPE_CHECKING, List, Tuple, Union
 
 from ..motion.block_matching import BlockMatchingConfig, SearchPolicy, SearchStrategy
+from ..motion.kernels import KERNEL_BACKENDS
 from .extrapolation import ExtrapolationConfig
 from .window import (
     AdaptiveWindowController,
@@ -78,8 +79,15 @@ class PipelineSpec:
     search_range: int = 7
     #: Exhaustive search instead of the three-step search.
     exhaustive_search: bool = False
-    #: Exhaustive-search candidate-scan policy (``full``/``spiral``/``pruned``).
+    #: Exhaustive-search candidate-scan policy
+    #: (``full``/``spiral``/``pruned``/``histogram``).
     search_policy: str = "pruned"
+    #: SAD kernel backend: ``numpy`` (the default and the bit-exact oracle)
+    #: or ``numba`` (compiled; degrades to numpy when Numba is absent).
+    #: All backends are bit-identical, but the knob is part of
+    #: :meth:`cache_key` anyway so cached artifacts record which backend
+    #: actually produced them.
+    kernel_backend: str = "numpy"
     #: Sub-ROI grid for deformation handling; (1, 1) disables it.
     sub_roi_grid: Tuple[int, int] = (2, 2)
     #: Euphrates ISP augmentation: expose motion vectors to the backend SoC.
@@ -111,6 +119,11 @@ class PipelineSpec:
         if self.search_range < 0:
             raise ValueError("search_range must be >= 0")
         object.__setattr__(self, "search_policy", SearchPolicy(self.search_policy).value)
+        if self.kernel_backend not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"unknown kernel backend '{self.kernel_backend}' "
+                f"(expected one of {KERNEL_BACKENDS})"
+            )
         grid = tuple(int(v) for v in self.sub_roi_grid)
         if len(grid) != 2 or grid[0] <= 0 or grid[1] <= 0:
             raise ValueError("sub_roi_grid must be two positive integers")
@@ -199,6 +212,14 @@ class PipelineSpec:
             f"result-identical (default: {defaults.search_policy})",
         )
         parser.add_argument(
+            "--kernel-backend",
+            dest="spec_kernel_backend",
+            choices=list(KERNEL_BACKENDS),
+            default=defaults.kernel_backend,
+            help="SAD kernel backend; numba degrades to numpy when Numba is "
+            f"absent, and all backends are bit-identical (default: {defaults.kernel_backend})",
+        )
+        parser.add_argument(
             "--sub-roi-grid",
             dest="spec_sub_roi_grid",
             default="x".join(str(v) for v in defaults.sub_roi_grid),
@@ -271,6 +292,7 @@ class PipelineSpec:
             search_range=args.spec_search_range,
             exhaustive_search=args.spec_exhaustive_search,
             search_policy=args.spec_search_policy,
+            kernel_backend=getattr(args, "spec_kernel_backend", cls().kernel_backend),
             sub_roi_grid=grid,
             expose_motion_vectors=args.spec_expose_motion_vectors,
             soc_config=args.spec_soc_config,
@@ -301,6 +323,8 @@ class PipelineSpec:
             tokens += ["--exhaustive-search"]
         if self.search_policy != defaults.search_policy:
             tokens += ["--search-policy", self.search_policy]
+        if self.kernel_backend != defaults.kernel_backend:
+            tokens += ["--kernel-backend", self.kernel_backend]
         if self.sub_roi_grid != defaults.sub_roi_grid:
             tokens += ["--sub-roi-grid", "x".join(str(v) for v in self.sub_roi_grid)]
         if not self.expose_motion_vectors:
@@ -331,6 +355,7 @@ class PipelineSpec:
             self.search_range,
             self.exhaustive_search,
             self.search_policy,
+            self.kernel_backend,
             self.sub_roi_grid,
             self.expose_motion_vectors,
             self.soc_config,
@@ -348,6 +373,8 @@ class PipelineSpec:
         label = f"{window}/b{self.block_size}/r{self.search_range}/{search}"
         if self.exhaustive_search:
             label += f"/{self.search_policy}"
+        if self.kernel_backend != "numpy":
+            label += f"/k:{self.kernel_backend}"
         if not self.expose_motion_vectors:
             label += "/no-mv"
         if self.soc_config != "default":
@@ -370,6 +397,7 @@ class PipelineSpec:
             search_range=self.search_range,
             strategy=strategy,
             search_policy=SearchPolicy(self.search_policy),
+            kernel_backend=self.kernel_backend,
         )
 
     def euphrates_config(self) -> "EuphratesConfig":

@@ -572,15 +572,18 @@ def search_policy_comparison(
     width: int = 256,
     block_size: int = 16,
     search_range: int = 7,
+    kernel_backend: str = "numpy",
     seed: int = 0,
-) -> List[Tuple[str, float, int, bool]]:
+) -> List[Tuple[str, float, int, bool, str]]:
     """Compare ES candidate-scan policies on one synthetic frame pair.
 
     Returns rows of ``(policy, evaluated_candidate_fraction, operation
-    count, identical_to_full)`` — the work each policy spends to produce the
-    motion field the full scan would, and a direct bit-identity check.
-    Deterministic (op counts, not wall time), so experiment artifacts and CI
-    smoke runs can assert on it.
+    count, identical_to_full, active_kernel_backend)`` — the work each
+    policy spends to produce the motion field the full scan would, a direct
+    bit-identity check, and the SAD kernel backend that actually ran
+    (``numba`` degrades to ``numpy`` when Numba is absent, and the artifact
+    must record what happened).  Deterministic (op counts, not wall time),
+    so experiment artifacts and CI smoke runs can assert on it.
     """
     from ..motion.block_matching import (
         BlockMatcher,
@@ -591,15 +594,21 @@ def search_policy_comparison(
     from .perf import synthetic_luma_sequence
 
     frames = synthetic_luma_sequence(height, width, 2, seed=seed)
-    rows: List[Tuple[str, float, int, bool]] = []
+    rows: List[Tuple[str, float, int, bool, str]] = []
     reference = None
-    for policy in (SearchPolicy.FULL, SearchPolicy.SPIRAL, SearchPolicy.PRUNED):
+    for policy in (
+        SearchPolicy.FULL,
+        SearchPolicy.SPIRAL,
+        SearchPolicy.PRUNED,
+        SearchPolicy.HISTOGRAM,
+    ):
         matcher = BlockMatcher(
             BlockMatchingConfig(
                 block_size=block_size,
                 search_range=search_range,
                 strategy=SearchStrategy.EXHAUSTIVE,
                 search_policy=policy,
+                kernel_backend=kernel_backend,
             )
         )
         field = matcher.estimate(frames[1], frames[0])
@@ -611,7 +620,13 @@ def search_policy_comparison(
         )
         stats = matcher.last_search_stats
         rows.append(
-            (policy.value, stats.evaluated_fraction, matcher.last_operation_count, identical)
+            (
+                policy.value,
+                stats.evaluated_fraction,
+                matcher.last_operation_count,
+                identical,
+                matcher.last_kernel_backend,
+            )
         )
     return rows
 
@@ -880,17 +895,27 @@ def _fig11b(context: ExperimentContext) -> ExperimentArtifact:
             for threshold, es, tss in points
         ],
     )
+    kernel_backend = context.base_spec.kernel_backend
     artifact.add_table(
-        ["search_policy", "evaluated_fraction", "operation_count", "identical_to_full"],
         [
-            [policy, round(fraction, 4), ops, identical]
-            for policy, fraction, ops, identical in search_policy_comparison()
+            "search_policy",
+            "evaluated_fraction",
+            "operation_count",
+            "identical_to_full",
+            "kernel_backend",
+        ],
+        [
+            [policy, round(fraction, 4), ops, identical, backend]
+            for policy, fraction, ops, identical, backend in search_policy_comparison(
+                kernel_backend=kernel_backend
+            )
         ],
         title="ES candidate-scan policies: work spent for the identical result",
     )
     artifact.metadata.update(_dataset_metadata(context.small_tracking_dataset))
     artifact.metadata["seed"] = context.seed
     artifact.metadata["search_policy"] = context.search_policy
+    artifact.metadata["kernel_backend"] = kernel_backend
     return artifact
 
 

@@ -5,8 +5,10 @@ sequences and compares it against the scalar reference oracle
 (:mod:`repro.motion.reference`), so every PR can check the perf trajectory.
 Besides the three-step search (the production default) the benchmark times
 the exhaustive search under each candidate-scan policy
-(full/spiral/pruned — all result-identical) and the fixed-point float-frame
-path, the two hot-path gaps this repo's trajectory tracks.
+(full/spiral/pruned/histogram — all result-identical) and the fixed-point
+float-frame path, the two hot-path gaps this repo's trajectory tracks.
+The SAD kernel backend (numpy or the compiled numba backend) is a
+parameter, so the same harness measures both sides of the backend speedup.
 
 The results are appended to the ``BENCH_motion.json`` trajectory by
 ``benchmarks/run_motion_bench.py`` (which also enforces the stored perf
@@ -26,6 +28,7 @@ from ..motion.block_matching import (
     SearchPolicy,
     SearchStrategy,
 )
+from ..motion.kernels import resolve_kernel_backend
 from ..motion.reference import scalar_estimate
 
 #: Benchmark resolutions: label -> (height, width).
@@ -71,6 +74,7 @@ def benchmark_motion_estimation(
     include_scalar: bool = True,
     include_exhaustive: bool = True,
     include_fixed_point: bool = True,
+    kernel_backend: str = "numpy",
     seed: int = 0,
 ) -> Dict[str, object]:
     """Benchmark the vectorized searches (and the scalar oracle) per resolution.
@@ -81,7 +85,8 @@ def benchmark_motion_estimation(
       keys), the analytical op counts, and — with ``include_scalar`` — the
       scalar-oracle timing and the vectorized-vs-scalar ``speedup``;
     * with ``include_exhaustive``, exhaustive-search timing per candidate
-      scan policy (``es_full_*``/``es_spiral_*``/``es_pruned_*``), the
+      scan policy (``es_full_*``/``es_spiral_*``/``es_pruned_*``/
+      ``es_histogram_*``), the
       pruned policy's evaluated-candidate fraction, and the headline
       ``es_pruned_speedup_vs_full`` and ``es_pruned_vs_tss`` ratios;
     * with ``include_fixed_point``, TSS timing on Q8.4 fixed-point float
@@ -90,13 +95,20 @@ def benchmark_motion_estimation(
       gather kernel.
 
     ``include_scalar=False`` skips the slow oracle timing (useful for quick
-    smoke runs).
+    smoke runs).  ``kernel_backend`` selects the SAD kernel implementation
+    (``numpy``/``numba``); the top-level result records both the requested
+    backend and the backend that actually ran (``numba`` silently degrades
+    to ``numpy`` when Numba is absent, and the trajectory must say so).
     """
     if num_frames < 2:
         raise ValueError("num_frames must be >= 2 (timing needs at least one frame pair)")
     resolutions = resolutions or RESOLUTIONS
+    active_backend = resolve_kernel_backend(kernel_backend)
     config = BlockMatchingConfig(
-        block_size=block_size, search_range=search_range, strategy=SearchStrategy.THREE_STEP
+        block_size=block_size,
+        search_range=search_range,
+        strategy=SearchStrategy.THREE_STEP,
+        kernel_backend=kernel_backend,
     )
     matcher = BlockMatcher(config)
     results: List[Dict[str, object]] = []
@@ -136,6 +148,7 @@ def benchmark_motion_estimation(
                         search_range=search_range,
                         strategy=SearchStrategy.EXHAUSTIVE,
                         search_policy=policy,
+                        kernel_backend=kernel_backend,
                     )
                 )
                 es_matcher.estimate(frames[1], frames[0])  # warm-up
@@ -152,6 +165,9 @@ def benchmark_motion_estimation(
             )
             entry["es_spiral_speedup_vs_full"] = (
                 es_seconds["full"] / es_seconds["spiral"]
+            )
+            entry["es_histogram_speedup_vs_full"] = (
+                es_seconds["full"] / es_seconds["histogram"]
             )
             # > 1 means pruned ES is still slower than TSS; the trajectory
             # tracks this gap closing.
@@ -180,5 +196,7 @@ def benchmark_motion_estimation(
         "benchmark": "motion_estimation",
         "block_size": block_size,
         "search_range": search_range,
+        "kernel_backend": kernel_backend,
+        "kernel_backend_active": active_backend,
         "results": results,
     }

@@ -17,7 +17,13 @@ from .block_matching import (
     exhaustive_search_ops_per_macroblock,
     three_step_search_ops_per_macroblock,
 )
-from .kernels import SadKernel, fixed_point_scale
+from .kernels import (
+    KERNEL_BACKENDS,
+    SadKernel,
+    fixed_point_scale,
+    numba_available,
+    resolve_kernel_backend,
+)
 from .motion_field import MacroblockGrid, MotionField
 from .reference import scalar_estimate
 from .sad import sum_of_absolute_differences
@@ -29,7 +35,10 @@ __all__ = [
     "SearchPolicy",
     "SearchStats",
     "SearchStrategy",
+    "KERNEL_BACKENDS",
     "fixed_point_scale",
+    "numba_available",
+    "resolve_kernel_backend",
     "MacroblockGrid",
     "MotionField",
     "scalar_estimate",

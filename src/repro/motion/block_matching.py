@@ -49,7 +49,8 @@ from typing import List, Tuple
 
 import numpy as np
 
-from .kernels import SadKernel
+from . import kernels_numba
+from .kernels import KERNEL_BACKENDS, SadKernel
 from .motion_field import MacroblockGrid, MotionField
 
 
@@ -66,6 +67,16 @@ class SearchPolicy(Enum):
     FULL = "full"
     SPIRAL = "spiral"
     PRUNED = "pruned"
+    #: Pruned scan that visits candidates ranked by a *global SAD histogram*
+    #: (ascending whole-frame partial-sum score) instead of the fixed
+    #: spiral.  SAD ties break on spiral rank, so the motion field stays
+    #: bit-identical to the full scan; visiting globally promising offsets
+    #: first tightens every block's best SAD early, which makes the pruning
+    #: rules skip more candidates on panning scenes whose true motion sits
+    #: far from the window centre.  Degrades to ``SPIRAL`` behaviour on
+    #: genuinely fractional float frames (no exact integer tables to rank
+    #: with), exactly like ``PRUNED`` does.
+    HISTOGRAM = "histogram"
 
 
 @dataclass(frozen=True)
@@ -123,13 +134,22 @@ class BlockMatchingConfig:
         its string value).  All policies produce bit-identical motion
         fields; ``PRUNED`` (the default) skips provably non-improving
         candidates via the spiral early-exit and the partial-sum lower
-        bound.  Ignored by the three-step search.
+        bound; ``HISTOGRAM`` additionally reorders candidates by a global
+        SAD histogram.  Ignored by the three-step search.
+    kernel_backend:
+        SAD kernel backend (``numpy``/``numba``).  ``numpy`` is the default
+        and the oracle; ``numba`` compiles the exact-integer hot loops and
+        fuses the whole exhaustive scan into one compiled call per frame.
+        Both backends are bit-identical; ``numba`` silently resolves to
+        ``numpy`` when Numba is not installed (install the ``[accel]``
+        extra) or when the frames force float mode.
     """
 
     block_size: int = 16
     search_range: int = 7
     strategy: SearchStrategy = SearchStrategy.THREE_STEP
     search_policy: SearchPolicy = SearchPolicy.PRUNED
+    kernel_backend: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.block_size <= 0:
@@ -138,6 +158,11 @@ class BlockMatchingConfig:
             raise ValueError("search_range must be non-negative")
         if not isinstance(self.search_policy, SearchPolicy):
             object.__setattr__(self, "search_policy", SearchPolicy(self.search_policy))
+        if self.kernel_backend not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"unknown kernel backend '{self.kernel_backend}' "
+                f"(expected one of {KERNEL_BACKENDS})"
+            )
 
     @property
     def ops_per_macroblock(self) -> int:
@@ -169,6 +194,9 @@ class BlockMatcher:
         #: mode, and at which fixed-point scale (1 = plain integers).
         self.last_kernel_exact = False
         self.last_kernel_scale = 1
+        #: Kernel backend that actually served the most recent estimate
+        #: (``numba`` only when compiled and in exact-integer mode).
+        self.last_kernel_backend = "numpy"
 
     # ------------------------------------------------------------------
     # Public API
@@ -194,11 +222,16 @@ class BlockMatcher:
         grid = MacroblockGrid(width, height, self.config.block_size)
         padded_current, padded_previous = self._pad_to_grid(current, previous, grid)
         kernel = SadKernel(
-            padded_current, padded_previous, self.config.block_size, self.config.search_range
+            padded_current,
+            padded_previous,
+            self.config.block_size,
+            self.config.search_range,
+            backend=self.config.kernel_backend,
         )
 
         self.last_kernel_exact = kernel.exact_integer
         self.last_kernel_scale = kernel.scale
+        self.last_kernel_backend = kernel.active_backend
         if self.config.strategy is SearchStrategy.EXHAUSTIVE:
             vectors, sad = self._exhaustive(kernel)
             stats = self.last_search_stats
@@ -235,20 +268,57 @@ class BlockMatcher:
     # Exhaustive search
     # ------------------------------------------------------------------
     def _exhaustive(self, kernel: SadKernel) -> Tuple[np.ndarray, np.ndarray]:
-        """Spiral scan over the window, with policy-dependent pruning.
+        """Candidate scan over the window, with policy-dependent pruning.
 
-        All three policies visit candidates in the same nearest-to-zero
-        order and update only on *strict* SAD improvement, so the pruning
-        rules (skip a block whose best SAD is 0; skip a block whose
-        partial-sum lower bound is not below its best SAD) can only skip
-        candidates the full scan would have rejected anyway — the returned
-        field is bit-identical across policies.
+        All policies return bit-identical fields.  The full/spiral/pruned
+        policies visit candidates in the same nearest-to-zero order and
+        update only on *strict* SAD improvement, so their pruning rules
+        (skip a block whose best SAD is 0; skip a block whose partial-sum
+        lower bound is not below its best SAD) can only skip candidates the
+        full scan would have rejected anyway.  The histogram policy visits
+        candidates out of spiral order (globally promising offsets first)
+        and therefore breaks SAD ties on the *spiral rank* instead — the
+        winner is the (SAD, spiral-rank) lexicographic minimum, which is
+        exactly what the spiral scan's strict-improvement rule computes.
+
+        When the compiled kernel backend is active the whole scan runs as
+        one fused per-macroblock call (:meth:`SadKernel.fused_exhaustive`)
+        with no per-candidate Python dispatch; otherwise the vectorized
+        per-offset NumPy loop below runs.
         """
         policy = self.config.search_policy
         d = self.config.search_range
         rows, cols = kernel.rows, kernel.cols
         num_blocks = rows * cols
         offsets = self._window_offsets(d)
+
+        # The histogram policy ranks candidates by their global partial-sum
+        # SAD score; it needs the exact-integer tables and degrades to the
+        # spiral order (and spiral behaviour) on fractional float frames.
+        ranked = policy is SearchPolicy.HISTOGRAM and kernel.supports_lower_bound
+        ranks = np.arange(len(offsets), dtype=np.int64)
+        if ranked:
+            ranks = kernel.histogram_order(offsets)
+            offsets = [offsets[int(index)] for index in ranks]
+
+        if kernel.supports_fused:
+            policy_code = {
+                SearchPolicy.FULL: kernels_numba.POLICY_FULL,
+                SearchPolicy.SPIRAL: kernels_numba.POLICY_SPIRAL,
+                SearchPolicy.PRUNED: kernels_numba.POLICY_LOWER_BOUND,
+                SearchPolicy.HISTOGRAM: kernels_numba.POLICY_LOWER_BOUND,
+            }[policy]
+            best_dy, best_dx, best_sad, evaluated, lower_bound_checks, skipped = (
+                kernel.fused_exhaustive(offsets, ranks, policy_code)
+            )
+            self.last_search_stats = SearchStats(
+                candidates_total=num_blocks * len(offsets),
+                candidates_evaluated=evaluated,
+                lower_bound_checks=lower_bound_checks,
+                offsets_skipped=skipped,
+            )
+            vectors = np.stack([-best_dx, -best_dy], axis=-1).astype(np.float64)
+            return vectors, best_sad
 
         # Dense whole-grid evaluation: exact-integer mode may use the cheap
         # uniform-offset primitive (exact either way); float mode must stay
@@ -258,16 +328,25 @@ class BlockMatcher:
         # policies on fractional frames.
         dense_sad = kernel.sad_uniform if kernel.exact_integer else kernel.sad_per_block
 
-        # The spiral's first offset is always (0, 0): evaluating it up front
-        # seeds every block's best SAD without an inf sentinel.
+        # The first visited offset is always (0, 0) (spiral rank 0, pinned
+        # first by histogram_order too): evaluating it up front seeds every
+        # block's best SAD without an inf sentinel.
         best_sad = dense_sad(0, 0)
         best_dy = np.zeros((rows, cols), dtype=np.int64)
         best_dx = np.zeros((rows, cols), dtype=np.int64)
+        best_rank = np.zeros((rows, cols), dtype=np.int64)
 
         evaluated = num_blocks
         lower_bound_checks = 0
         offsets_skipped = 0
-        use_lower_bound = policy is SearchPolicy.PRUNED and kernel.supports_lower_bound
+        use_lower_bound = (
+            policy in (SearchPolicy.PRUNED, SearchPolicy.HISTOGRAM)
+            and kernel.supports_lower_bound
+        )
+        # min(ranks[i:]): lets a perfect-match early exit stay correct under
+        # out-of-spiral-order visiting (a remaining candidate can still win
+        # a SAD tie only if its spiral rank undercuts a block's best rank).
+        suffix_min_rank = np.minimum.accumulate(ranks[::-1])[::-1]
 
         for index, (dy, dx) in enumerate(offsets[1:], start=1):
             if policy is SearchPolicy.FULL:
@@ -279,16 +358,28 @@ class BlockMatcher:
                 evaluated += num_blocks
                 continue
 
+            rank = int(ranks[index])
             need = best_sad > 0.0
-            if not need.any():
-                # Every block already has a perfect match; SAD >= 0 means no
-                # remaining candidate can strictly improve.  Early exit —
+            if ranked:
+                need |= best_rank > rank
+                all_perfect = not (best_sad > 0.0).any()
+            else:
+                all_perfect = not need.any()
+            if all_perfect and best_rank.max() < suffix_min_rank[index]:
+                # Every block has a perfect match no remaining candidate
+                # can beat, not even on a spiral-rank tie.  Early exit —
                 # this offset and everything after it goes unevaluated.
                 offsets_skipped += len(offsets) - index
                 break
             if use_lower_bound:
                 lower_bound_checks += num_blocks
-                need &= kernel.lower_bound_uniform(dy, dx) < best_sad
+                lower = kernel.lower_bound_uniform(dy, dx)
+                if ranked:
+                    need &= (lower < best_sad) | (
+                        (lower <= best_sad) & (best_rank > rank)
+                    )
+                else:
+                    need &= lower < best_sad
             rows_idx, cols_idx = np.nonzero(need)
             count = rows_idx.size
             if count == 0:
@@ -298,18 +389,27 @@ class BlockMatcher:
             if count == num_blocks:
                 sad = dense_sad(dy, dx)
                 improved = sad < best_sad
+                if ranked:
+                    improved |= (sad == best_sad) & (best_rank > rank)
                 best_sad = np.where(improved, sad, best_sad)
                 best_dy[improved] = dy
                 best_dx[improved] = dx
+                best_rank[improved] = rank
             else:
                 sad = kernel.sad_subset(dy, dx, rows_idx, cols_idx)
-                improved = sad < best_sad[rows_idx, cols_idx]
+                current_best = best_sad[rows_idx, cols_idx]
+                improved = sad < current_best
+                if ranked:
+                    improved |= (sad == current_best) & (
+                        best_rank[rows_idx, cols_idx] > rank
+                    )
                 if improved.any():
                     sel_rows = rows_idx[improved]
                     sel_cols = cols_idx[improved]
                     best_sad[sel_rows, sel_cols] = sad[improved]
                     best_dy[sel_rows, sel_cols] = dy
                     best_dx[sel_rows, sel_cols] = dx
+                    best_rank[sel_rows, sel_cols] = rank
 
         self.last_search_stats = SearchStats(
             candidates_total=num_blocks * len(offsets),

@@ -45,14 +45,46 @@ the full scan would have accepted.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
+from . import kernels_numba
+
 #: Largest absolute frame value for which the exact-integer mode is used;
 #: guarantees every SAD stays far below 2**53 so float64 sums are exact.
 _MAX_EXACT_INT = 2**20
+
+#: Kernel backends selectable through ``PipelineSpec(kernel_backend=...)``.
+#: ``numpy`` is the default and the performance oracle the compiled backend
+#: is property-tested against; ``numba`` compiles the integer-domain hot
+#: loops (:mod:`repro.motion.kernels_numba`) and silently degrades to
+#: ``numpy`` when Numba is not installed (the ``[accel]`` extra).
+KERNEL_BACKENDS = ("numpy", "numba")
+
+
+def numba_available() -> bool:
+    """Whether the compiled kernel backend can actually run compiled."""
+    return kernels_numba.NUMBA_AVAILABLE
+
+
+def resolve_kernel_backend(backend: str) -> str:
+    """Validate ``backend`` and degrade ``numba`` to ``numpy`` when absent.
+
+    This is the single graceful-degradation point: configuration layers
+    (:class:`BlockMatchingConfig`, ``PipelineSpec``) accept ``"numba"``
+    regardless of what is installed, and the kernels resolve it at use time
+    so the same spec runs everywhere — compiled where the ``[accel]`` extra
+    is present, bit-identically on NumPy where it is not.
+    """
+    if backend not in KERNEL_BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend '{backend}' (expected one of {KERNEL_BACKENDS})"
+        )
+    if backend == "numba" and not numba_available():
+        return "numpy"
+    return backend
 
 #: Fractional-bit counts probed by :func:`fixed_point_scale` for float frames
 #: that are not integer-valued.  4 matches the ISP's Q8.4 frame format; 8
@@ -144,6 +176,13 @@ class SadKernel:
         it (including the fixed-point scale) from the frame contents.
         Forcing ``True`` asserts the frames are integer-valued as-is
         (scale 1).
+    backend:
+        Kernel backend (:data:`KERNEL_BACKENDS`).  ``numba`` routes the
+        exact-integer primitives through the compiled loops of
+        :mod:`repro.motion.kernels_numba`; it resolves to ``numpy`` when
+        Numba is not installed *or* the frames force float mode (compiled
+        float sums would not reproduce the oracle's reduction order).  The
+        backend actually in effect is :attr:`active_backend`.
     """
 
     def __init__(
@@ -153,6 +192,7 @@ class SadKernel:
         block_size: int,
         search_range: int,
         exact_integer: bool | None = None,
+        backend: str = "numpy",
     ) -> None:
         if current.shape != previous.shape:
             raise ValueError(
@@ -178,6 +218,16 @@ class SadKernel:
             exact_integer = scale is not None
             self.scale = scale if scale is not None else 1
         self.exact_integer = exact_integer
+        #: Backend the caller asked for (before availability resolution).
+        self.requested_backend = backend
+        #: Backend actually serving the primitives: ``numba`` only when the
+        #: compiled module is importable *and* the frames ride the
+        #: exact-integer mode; ``numpy`` otherwise.
+        self.active_backend = (
+            "numba"
+            if resolve_kernel_backend(backend) == "numba" and self.exact_integer
+            else "numpy"
+        )
 
         if self.exact_integer:
             if self.scale != 1:
@@ -254,6 +304,12 @@ class SadKernel:
         exact-integer mode it shares the gather kernel (exact either way).
         Returns a ``(rows, cols)`` float64 array.
         """
+        if self.active_backend == "numba":
+            out = np.empty((self.rows, self.cols), dtype=np.int64)
+            kernels_numba.sad_uniform(
+                self._current_blocks, self._padded, self.search_range, dy, dx, out
+            )
+            return self._descale(out)
         if self.exact_integer:
             return self._gathered_sad_int(dy, dx)
         d = self.search_range
@@ -272,6 +328,19 @@ class SadKernel:
         ``(rows, cols)`` integer arrays.  Bit-identical to the scalar
         reference loops in both modes.  Returns ``(rows, cols)`` float64.
         """
+        if self.active_backend == "numba":
+            shape = (self.rows, self.cols)
+            dy_arr = np.ascontiguousarray(
+                np.broadcast_to(np.asarray(dy, dtype=np.int64), shape)
+            )
+            dx_arr = np.ascontiguousarray(
+                np.broadcast_to(np.asarray(dx, dtype=np.int64), shape)
+            )
+            out = np.empty(shape, dtype=np.int64)
+            kernels_numba.sad_per_block(
+                self._current_blocks, self._padded, self.search_range, dy_arr, dx_arr, out
+            )
+            return self._descale(out)
         if self.exact_integer:
             return self._gathered_sad_int(dy, dx)
         references = self._windows[self._base_y + dy, self._base_x + dx]
@@ -289,6 +358,21 @@ class SadKernel:
         modes gather C-contiguous ``(L, L)`` patches and reduce over the
         trailing axes, the same pairwise order as the scalar reference.
         """
+        if self.active_backend == "numba":
+            rows_arr = np.ascontiguousarray(np.asarray(rows_idx, dtype=np.int64))
+            cols_arr = np.ascontiguousarray(np.asarray(cols_idx, dtype=np.int64))
+            out = np.empty(rows_arr.shape[0], dtype=np.int64)
+            kernels_numba.sad_subset(
+                self._current_blocks,
+                self._padded,
+                self.search_range,
+                dy,
+                dx,
+                rows_arr,
+                cols_arr,
+                out,
+            )
+            return self._descale(out)
         ys = self._base_y[rows_idx, 0] + dy
         xs = self._base_x[0, cols_idx] + dx
         references = self._windows[ys, xs]
@@ -349,8 +433,130 @@ class SadKernel:
         if not self.exact_integer:
             raise RuntimeError("partial-sum lower bound requires the exact-integer mode")
         self._ensure_prune_tables()
+        if self.active_backend == "numba":
+            out = np.empty((self.rows, self.cols), dtype=np.int64)
+            kernels_numba.lower_bound_uniform(
+                self._block_sums,
+                self._window_sums,
+                self.search_range,
+                self.block_size,
+                dy,
+                dx,
+                out,
+            )
+            return self._descale(out)
         references = self._window_sums[self._base_y + dy, self._base_x + dx]
         return self._descale(np.abs(self._block_sums - references))
+
+    # ------------------------------------------------------------------
+    # Candidate ordering and the fused compiled driver
+    # ------------------------------------------------------------------
+    def histogram_order(self, offsets: Sequence[Tuple[int, int]]) -> np.ndarray:
+        """Visit order for the histogram search policy.
+
+        Scores every candidate offset with the *global* partial-sum SAD
+        histogram — ``sum over blocks of |sum(block) - sum(reference)|``, an
+        O(1)-per-block whole-frame lower bound from the summed-area tables —
+        and returns the candidate indices sorted by ascending score (spiral
+        rank breaks score ties, and the rank-0 ``(0, 0)`` candidate is
+        always visited first as the seed).  Visiting globally promising
+        displacements early tightens every block's best SAD sooner, so the
+        per-block pruning rules skip more work than the fixed spiral does on
+        panning scenes whose true motion sits far from the window centre.
+
+        Requires the exact-integer mode (the tables the scores come from).
+        The returned indices double as the candidates' spiral ranks, which
+        is what makes out-of-spiral-order scanning bit-identical: updates
+        break SAD ties on the smaller spiral rank, so the winner is the
+        (SAD, spiral-rank) lexicographic minimum regardless of visit order.
+        """
+        if not self.exact_integer:
+            raise RuntimeError("histogram ordering requires the exact-integer mode")
+        self._ensure_prune_tables()
+        dys = np.ascontiguousarray([o[0] for o in offsets], dtype=np.int64)
+        dxs = np.ascontiguousarray([o[1] for o in offsets], dtype=np.int64)
+        scores = np.empty(len(offsets), dtype=np.int64)
+        if self.active_backend == "numba":
+            kernels_numba.histogram_scores(
+                self._block_sums,
+                self._window_sums,
+                self.search_range,
+                self.block_size,
+                dys,
+                dxs,
+                scores,
+            )
+        else:
+            for index in range(len(offsets)):
+                references = self._window_sums[
+                    self._base_y + dys[index], self._base_x + dxs[index]
+                ]
+                scores[index] = np.abs(self._block_sums - references).sum()
+        # lexsort: last key is primary — ascending score, spiral rank on ties.
+        order = np.lexsort((np.arange(len(offsets)), scores))
+        return np.concatenate(([0], order[order != 0])).astype(np.int64)
+
+    @property
+    def supports_fused(self) -> bool:
+        """Whether :meth:`fused_exhaustive` runs compiled.
+
+        Requires the numba backend to be active (which itself implies the
+        exact-integer mode): the fused per-macroblock driver interpreted in
+        Python would be orders of magnitude slower than the vectorized NumPy
+        scan, so the dispatcher only takes it when it is actually compiled.
+        """
+        return self.active_backend == "numba"
+
+    def fused_exhaustive(
+        self,
+        offsets: Sequence[Tuple[int, int]],
+        ranks: np.ndarray,
+        policy_code: int,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int, int]:
+        """Whole exhaustive search in one compiled call (no Python dispatch).
+
+        ``offsets`` are the candidates in visit order, ``ranks`` their
+        spiral ranks (the tie-break), ``policy_code`` one of the
+        ``kernels_numba.POLICY_*`` pruning levels.  Returns
+        ``(best_dy, best_dx, best_sad, evaluated, lower_bound_checks,
+        offsets_skipped)`` with SAD already descaled to frame units.
+        """
+        if not self.exact_integer:
+            raise RuntimeError("the fused exhaustive driver requires the exact-integer mode")
+        self._ensure_prune_tables()
+        dys = np.ascontiguousarray([o[0] for o in offsets], dtype=np.int64)
+        dxs = np.ascontiguousarray([o[1] for o in offsets], dtype=np.int64)
+        ranks = np.ascontiguousarray(ranks, dtype=np.int64)
+        suffix_min_rank = np.minimum.accumulate(ranks[::-1])[::-1].copy()
+        best_dy = np.empty((self.rows, self.cols), dtype=np.int64)
+        best_dx = np.empty((self.rows, self.cols), dtype=np.int64)
+        best_sad = np.empty((self.rows, self.cols), dtype=np.int64)
+        eval_per_offset = np.zeros(len(offsets), dtype=np.int64)
+        evaluated, lower_bound_checks = kernels_numba.fused_exhaustive(
+            self._current_blocks,
+            self._padded,
+            self._block_sums,
+            self._window_sums,
+            dys,
+            dxs,
+            ranks,
+            suffix_min_rank,
+            self.search_range,
+            policy_code,
+            best_dy,
+            best_dx,
+            best_sad,
+            eval_per_offset,
+        )
+        offsets_skipped = int((eval_per_offset == 0).sum())
+        return (
+            best_dy,
+            best_dx,
+            self._descale(best_sad),
+            int(evaluated),
+            int(lower_bound_checks),
+            offsets_skipped,
+        )
 
     # ------------------------------------------------------------------
     # Exact-integer gather kernel

@@ -244,7 +244,17 @@ class VisionSoC:
         The meter is the single costing core: the live pipeline folds its
         recorded :class:`~repro.core.types.FrameTelemetry` events through
         it, and :meth:`evaluate` folds an aggregate schedule through the
-        very same pricing.
+        very same pricing.  ``extrapolation_on_cpu`` prices E-frames on
+        the CPU instead of the motion controller (the EW-N@CPU
+        configurations of Fig. 9b); ``assume_nominal_capture`` prices
+        every event at the SoC's nominal capture setting so small
+        synthetic runs produce tables comparable with the analytic model.
+        Metering is observe-only: a meter never changes pipeline outputs.
+
+        One meter prices one stream.  To meter N concurrent streams on a
+        *shared* SoC — static power settled once, not N times — open the
+        meters through :meth:`open_pool` /
+        :meth:`~repro.soc.frame_cost.SharedSoCPool.open_meter` instead.
         """
         from .frame_cost import CostMeter
 

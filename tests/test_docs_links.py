@@ -1,0 +1,99 @@
+"""Docs dead-link lint: the repo's markdown tree must stay internally valid.
+
+Runs ``tools/check_links.py`` against the committed docs (the same check the
+CI ``docs`` job enforces) and unit-tests the checker itself — a linter that
+silently stopped finding breakage would make the green job meaningless.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_links", REPO_ROOT / "tools" / "check_links.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+checker = _load_checker()
+
+
+class TestRepoDocs:
+    def test_committed_docs_have_no_broken_links(self):
+        problems = []
+        for path in checker.iter_doc_files():
+            problems.extend(checker.check_file(path, {}))
+        assert problems == []
+
+    def test_doc_set_actually_contains_links(self):
+        """Guard against the lint degenerating into checking nothing."""
+        total = sum(
+            1
+            for path in checker.iter_doc_files()
+            for _line, target in checker.iter_links(path)
+            if not target.startswith(checker.EXTERNAL_SCHEMES)
+        )
+        assert total >= 10
+
+    def test_docs_tree_is_linted(self):
+        linted = {p.relative_to(REPO_ROOT).as_posix() for p in checker.iter_doc_files()}
+        for required in (
+            "README.md",
+            "docs/architecture.md",
+            "docs/wire-protocol.md",
+            "docs/kernels.md",
+            "docs/benchmarking.md",
+        ):
+            assert required in linted
+
+
+class TestCheckerCatchesBreakage:
+    def test_broken_file_link_is_reported(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("see [missing](no-such-file.md) for details\n")
+        problems = checker.check_file(doc, {})
+        assert len(problems) == 1
+        assert "no-such-file.md" in problems[0]
+
+    def test_broken_anchor_is_reported(self, tmp_path):
+        target = tmp_path / "target.md"
+        target.write_text("# Real Heading\n\nbody\n")
+        doc = tmp_path / "doc.md"
+        doc.write_text("[ok](target.md#real-heading) and [bad](target.md#nope)\n")
+        problems = checker.check_file(doc, {})
+        assert len(problems) == 1
+        assert "#nope" in problems[0]
+
+    def test_same_file_fragment(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("# My Section\n\njump [here](#my-section), not [there](#absent)\n")
+        problems = checker.check_file(doc, {})
+        assert len(problems) == 1
+        assert "#absent" in problems[0]
+
+    def test_external_links_are_ignored(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("[paper](https://example.com/dead-link-404)\n")
+        assert checker.check_file(doc, {}) == []
+
+    def test_code_blocks_are_ignored(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "```\n[not a link](missing.md)\n```\n"
+            "and inline `[also not](gone.md)` code\n"
+        )
+        assert checker.check_file(doc, {}) == []
+
+    def test_github_slugs(self):
+        assert checker.github_slug("Adding a backend") == "adding-a-backend"
+        assert checker.github_slug("`PipelineSpec` — the one config") == (
+            "pipelinespec--the-one-config"
+        )
+        assert checker.github_slug("Q8.4 fixed point!") == "q84-fixed-point"

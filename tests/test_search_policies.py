@@ -125,7 +125,8 @@ class TestPolicyEquivalence:
             assert np.all(field.sad == 0.0)
         # The spiral early-exit fires after the seeding (0, 0) evaluation:
         # all 224 remaining offsets are skipped, and the accounting says so.
-        for policy in (SearchPolicy.SPIRAL, SearchPolicy.PRUNED):
+        # The histogram policy pins (0, 0) first too, so it exits the same way.
+        for policy in (SearchPolicy.SPIRAL, SearchPolicy.PRUNED, SearchPolicy.HISTOGRAM):
             stats = fields[policy][0].last_search_stats
             assert stats.candidates_evaluated == stats.candidates_total // 225
             assert stats.offsets_skipped == 224
@@ -180,9 +181,15 @@ class TestSearchPolicyComparison:
 
     def test_rows_report_identical_and_cheaper_policies(self):
         rows = search_policy_comparison(height=96, width=128)
-        by_policy = {policy: (fraction, ops, identical) for policy, fraction, ops, identical in rows}
-        assert set(by_policy) == {"full", "spiral", "pruned"}
-        assert all(identical for _f, _o, identical in by_policy.values())
+        by_policy = {
+            policy: (fraction, ops, identical, backend)
+            for policy, fraction, ops, identical, backend in rows
+        }
+        assert set(by_policy) == {"full", "spiral", "pruned", "histogram"}
+        assert all(identical for _f, _o, identical, _b in by_policy.values())
+        # The numba backend was not requested, so numpy must have run.
+        assert all(backend == "numpy" for _f, _o, _i, backend in by_policy.values())
         assert by_policy["full"][0] == 1.0
         assert by_policy["pruned"][1] < by_policy["full"][1]
         assert by_policy["spiral"][1] < by_policy["full"][1]
+        assert by_policy["histogram"][1] < by_policy["full"][1]

@@ -36,6 +36,8 @@ class TestNormalization:
         with pytest.raises(ValueError):
             PipelineSpec(search_policy="greedy")
         with pytest.raises(ValueError):
+            PipelineSpec(kernel_backend="cython")
+        with pytest.raises(ValueError):
             PipelineSpec(sub_roi_grid=(0, 2))
         with pytest.raises(ValueError):
             PipelineSpec(soc_config="vga")
@@ -98,6 +100,11 @@ class TestCliRoundTrip:
             PipelineSpec(extrapolation_window="adaptive"),
             PipelineSpec(extrapolation_window=8, block_size=32, search_range=15),
             PipelineSpec(exhaustive_search=True, search_policy="full"),
+            PipelineSpec(
+                exhaustive_search=True,
+                search_policy="histogram",
+                kernel_backend="numba",
+            ),
             PipelineSpec(sub_roi_grid=(1, 1), expose_motion_vectors=False),
             PipelineSpec(soc_config="720p30", extrapolation_host="cpu"),
             PipelineSpec(soc_config="640x480@15"),
@@ -138,6 +145,7 @@ class TestCacheKey:
             PipelineSpec(search_range=3),
             PipelineSpec(exhaustive_search=True),
             PipelineSpec(search_policy="full"),
+            PipelineSpec(kernel_backend="numba"),
             PipelineSpec(sub_roi_grid=(1, 1)),
             PipelineSpec(expose_motion_vectors=False),
             PipelineSpec(soc_config="1080p30"),
@@ -159,6 +167,7 @@ class TestBuild:
             search_range=5,
             exhaustive_search=True,
             search_policy="spiral",
+            kernel_backend="numba",
             sub_roi_grid=(1, 2),
             expose_motion_vectors=False,
         )
@@ -168,6 +177,7 @@ class TestBuild:
         assert config.block_matching.search_range == 5
         assert config.block_matching.strategy is SearchStrategy.EXHAUSTIVE
         assert config.block_matching.search_policy is SearchPolicy.SPIRAL
+        assert config.block_matching.kernel_backend == "numba"
         assert config.extrapolation.sub_roi_grid == (1, 2)
         assert not config.expose_motion_vectors
         assert isinstance(pipeline.window_controller, ConstantWindowController)
@@ -187,6 +197,10 @@ class TestBuild:
             ).describe()
             == "EW-A/b16/r7/es/pruned"
         )
+
+    def test_describe_marks_non_default_backend(self):
+        assert "/k:numba" in PipelineSpec(kernel_backend="numba").describe()
+        assert "/k:" not in PipelineSpec().describe()
 
     def test_with_window(self):
         spec = PipelineSpec(block_size=8)

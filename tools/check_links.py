@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Dead-link lint for the repo's markdown tree.
+
+Walks the documentation set (README.md, docs/, EXPERIMENTS.md, ROADMAP.md,
+benchmarks/README.md, ...) and verifies that every **intra-repo** markdown
+link resolves:
+
+* relative file links (``[x](docs/kernels.md)``, ``[y](../README.md)``)
+  must point at an existing file or directory;
+* fragment links into a markdown file (``docs/kernels.md#adding-a-backend``)
+  must match a heading anchor in the target, using GitHub's slug rules
+  (lowercase, punctuation stripped, spaces to hyphens);
+* bare fragments (``#verifying``) must match a heading in the same file.
+
+External links (http/https/mailto) are deliberately left alone — this lint
+must stay hermetic so CI never fails on someone else's outage.  Run from
+anywhere inside the repo:
+
+    python tools/check_links.py
+
+Exit status is the number of broken links (0 = clean), and each violation
+prints as ``file:line: message`` so editors can jump to it.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Documentation files and directories (relative to the repo root) to lint.
+#: Generated/source trees are excluded on purpose: the lint guards the
+#: human-facing docs surface, not every stray markdown in the checkout.
+DOC_SET = [
+    "README.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+    "docs",
+    "benchmarks/README.md",
+]
+
+#: ``[text](target)`` — skipping images is fine, broken image links fail
+#: the same way as file links so keep them in.
+LINK_RE = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+EXTERNAL_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading: lowercase, drop punctuation,
+    spaces/dashes collapse to single hyphens."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())  # unwrap code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    text = text.replace(" ", "-")
+    return text
+
+
+def markdown_anchors(path: Path) -> set:
+    """All heading anchors a markdown file exposes (with GitHub's -1, -2
+    suffixes for duplicate headings)."""
+    anchors: set = set()
+    counts: dict = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        anchors.add(slug if seen == 0 else f"{slug}-{seen}")
+    return anchors
+
+
+def _display(path: Path) -> str:
+    """Repo-relative path when possible (clickable in CI logs), else absolute."""
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        return str(path)
+
+
+def iter_doc_files() -> list:
+    files = []
+    for rel in DOC_SET:
+        path = REPO_ROOT / rel
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.exists():
+            files.append(path)
+    return files
+
+
+def iter_links(path: Path):
+    """Yield ``(line_number, target)`` for every markdown link, skipping
+    fenced code blocks and inline code spans."""
+    in_fence = False
+    for line_number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        stripped = re.sub(r"`[^`]*`", "", line)
+        for match in LINK_RE.finditer(stripped):
+            yield line_number, match.group(1)
+
+
+def check_file(path: Path, anchor_cache: dict) -> list:
+    problems = []
+    for line_number, target in iter_links(path):
+        if target.startswith(EXTERNAL_SCHEMES):
+            continue
+        base, _, fragment = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{_display(path)}:{line_number}: "
+                    f"broken link '{target}' (no such file)"
+                )
+                continue
+        else:
+            resolved = path
+        if fragment:
+            if resolved.is_dir() or resolved.suffix.lower() != ".md":
+                continue  # fragments into non-markdown are out of scope
+            if resolved not in anchor_cache:
+                anchor_cache[resolved] = markdown_anchors(resolved)
+            if fragment.lower() not in anchor_cache[resolved]:
+                problems.append(
+                    f"{_display(path)}:{line_number}: "
+                    f"broken anchor '{target}' (no heading "
+                    f"'#{fragment}' in {_display(resolved)})"
+                )
+    return problems
+
+
+def main() -> int:
+    anchor_cache: dict = {}
+    problems = []
+    files = iter_doc_files()
+    for path in files:
+        problems.extend(check_file(path, anchor_cache))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(files)} markdown files: {len(problems)} broken links")
+    return len(problems)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
