@@ -19,6 +19,7 @@ import copy
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
 
+from ..isp.framebuffer import DEFAULT_FRAME_FORMAT, FixedPointFormat
 from ..isp.pipeline import ISPConfig, ISPPipeline
 from ..motion.block_matching import BlockMatchingConfig
 from .backends import InferenceBackend
@@ -49,6 +50,10 @@ class EuphratesConfig:
     #: every frame then degenerates to an I-frame regardless of the window
     #: controller, which models the baseline system.
     expose_motion_vectors: bool = True
+    #: Fixed-point lattice of the ISP datapath (``None`` = unquantized
+    #: float64).  A *vision* knob, not just a cost knob: quantization
+    #: changes the committed frames and therefore the motion fields.
+    frame_format: "FixedPointFormat | None" = DEFAULT_FRAME_FORMAT
 
 
 class EuphratesPipeline:
@@ -105,6 +110,7 @@ class EuphratesPipeline:
         return ISPConfig(
             expose_motion_vectors=self.config.expose_motion_vectors,
             block_matching=self.config.block_matching,
+            frame_format=self.config.frame_format,
         )
 
     def _acquire_extrapolator(self, width: int, height: int) -> MotionExtrapolator:

@@ -30,6 +30,7 @@ import argparse
 from dataclasses import dataclass, fields, replace
 from typing import TYPE_CHECKING, List, Tuple, Union
 
+from ..isp.framebuffer import parse_frame_format, spell_frame_format
 from ..motion.block_matching import BlockMatchingConfig, SearchPolicy, SearchStrategy
 from ..motion.kernels import KERNEL_BACKENDS
 from .extrapolation import ExtrapolationConfig
@@ -88,6 +89,12 @@ class PipelineSpec:
     #: :meth:`cache_key` anyway so cached artifacts record which backend
     #: actually produced them.
     kernel_backend: str = "numpy"
+    #: Fixed-point format of the ISP datapath: ``qM.F`` (e.g. the default
+    #: ``q8.4``) quantizes every stage output onto that lattice; ``float``
+    #: restores the unquantized float64 datapath.  A vision knob (it changes
+    #: the committed frames, hence the motion fields), so it is part of
+    #: :meth:`cache_key`.
+    frame_format: str = "q8.4"
     #: Sub-ROI grid for deformation handling; (1, 1) disables it.
     sub_roi_grid: Tuple[int, int] = (2, 2)
     #: Euphrates ISP augmentation: expose motion vectors to the backend SoC.
@@ -124,6 +131,11 @@ class PipelineSpec:
                 f"unknown kernel backend '{self.kernel_backend}' "
                 f"(expected one of {KERNEL_BACKENDS})"
             )
+        # Normalize (and validate) the frame-format spelling so equal
+        # lattices always hash and cache identically.
+        object.__setattr__(
+            self, "frame_format", spell_frame_format(parse_frame_format(self.frame_format))
+        )
         grid = tuple(int(v) for v in self.sub_roi_grid)
         if len(grid) != 2 or grid[0] <= 0 or grid[1] <= 0:
             raise ValueError("sub_roi_grid must be two positive integers")
@@ -162,6 +174,27 @@ class PipelineSpec:
         return cls(**kwargs)  # type: ignore[arg-type]
 
     @classmethod
+    def from_preset(cls, name: str, **overrides: object) -> "PipelineSpec":
+        """Build a named spec preset (see ``repro.soc.config.TUNED_SPEC_PRESETS``).
+
+        Presets are configurations the design-space autotuner
+        (``python -m repro.harness tune``) found Pareto-optimal; each entry
+        records plain spec kwargs, so a preset composes with explicit
+        ``overrides`` exactly like :meth:`from_kwargs`.
+        """
+        from ..soc.config import TUNED_SPEC_PRESETS
+
+        try:
+            kwargs = dict(TUNED_SPEC_PRESETS[name])
+        except KeyError:
+            presets = ", ".join(sorted(TUNED_SPEC_PRESETS))
+            raise ValueError(
+                f"unknown spec preset '{name}' (expected one of: {presets})"
+            ) from None
+        kwargs.update(overrides)
+        return cls.from_kwargs(**kwargs)
+
+    @classmethod
     def add_cli_options(
         cls, parser: argparse.ArgumentParser, include_window: bool = True
     ) -> None:
@@ -173,6 +206,15 @@ class PipelineSpec:
         the window themselves.
         """
         defaults = cls()
+        parser.add_argument(
+            "--spec-preset",
+            dest="spec_preset",
+            default=None,
+            metavar="NAME",
+            help="start from a named tuned spec preset (see "
+            "repro.soc.config.TUNED_SPEC_PRESETS / 'list --json'); "
+            "explicit spec flags override the preset's fields",
+        )
         if include_window:
             parser.add_argument(
                 "--window",
@@ -218,6 +260,14 @@ class PipelineSpec:
             default=defaults.kernel_backend,
             help="SAD kernel backend; numba degrades to numpy when Numba is "
             f"absent, and all backends are bit-identical (default: {defaults.kernel_backend})",
+        )
+        parser.add_argument(
+            "--frame-format",
+            dest="spec_frame_format",
+            default=defaults.frame_format,
+            metavar="qM.F|float",
+            help="fixed-point format of the ISP datapath, e.g. q8.4; 'float' "
+            f"selects the unquantized float64 path (default: {defaults.frame_format})",
         )
         parser.add_argument(
             "--sub-roi-grid",
@@ -276,7 +326,12 @@ class PipelineSpec:
 
     @classmethod
     def from_cli_args(cls, args: argparse.Namespace) -> "PipelineSpec":
-        """Build a spec from a namespace parsed with :meth:`add_cli_options`."""
+        """Build a spec from a namespace parsed with :meth:`add_cli_options`.
+
+        With ``--spec-preset`` the named preset supplies the base values and
+        any spec flag whose parsed value differs from the built-in default
+        overrides the corresponding preset field.
+        """
         rows, _, cols = str(args.spec_sub_roi_grid).partition("x")
         try:
             grid = (int(rows), int(cols))
@@ -284,22 +339,35 @@ class PipelineSpec:
             raise ValueError(
                 f"malformed --sub-roi-grid '{args.spec_sub_roi_grid}' (expected RxC)"
             ) from None
-        return cls(
-            extrapolation_window=getattr(
-                args, "spec_window", cls().extrapolation_window
+        defaults = cls()
+        kwargs = {
+            "extrapolation_window": normalize_window(
+                getattr(args, "spec_window", defaults.extrapolation_window)
             ),
-            block_size=args.spec_block_size,
-            search_range=args.spec_search_range,
-            exhaustive_search=args.spec_exhaustive_search,
-            search_policy=args.spec_search_policy,
-            kernel_backend=getattr(args, "spec_kernel_backend", cls().kernel_backend),
-            sub_roi_grid=grid,
-            expose_motion_vectors=args.spec_expose_motion_vectors,
-            soc_config=args.spec_soc_config,
-            extrapolation_host=args.spec_extrapolation_host,
-            workers=getattr(args, "spec_workers", cls().workers),
-            transport=getattr(args, "spec_transport", cls().transport),
-        )
+            "block_size": args.spec_block_size,
+            "search_range": args.spec_search_range,
+            "exhaustive_search": args.spec_exhaustive_search,
+            "search_policy": args.spec_search_policy,
+            "kernel_backend": getattr(
+                args, "spec_kernel_backend", defaults.kernel_backend
+            ),
+            "frame_format": getattr(args, "spec_frame_format", defaults.frame_format),
+            "sub_roi_grid": grid,
+            "expose_motion_vectors": args.spec_expose_motion_vectors,
+            "soc_config": args.spec_soc_config,
+            "extrapolation_host": args.spec_extrapolation_host,
+            "workers": getattr(args, "spec_workers", defaults.workers),
+            "transport": getattr(args, "spec_transport", defaults.transport),
+        }
+        preset = getattr(args, "spec_preset", None)
+        if preset:
+            overrides = {
+                name: value
+                for name, value in kwargs.items()
+                if value != getattr(defaults, name)
+            }
+            return cls.from_preset(preset, **overrides)
+        return cls(**kwargs)
 
     # ------------------------------------------------------------------
     # Serialization
@@ -325,6 +393,8 @@ class PipelineSpec:
             tokens += ["--search-policy", self.search_policy]
         if self.kernel_backend != defaults.kernel_backend:
             tokens += ["--kernel-backend", self.kernel_backend]
+        if self.frame_format != defaults.frame_format:
+            tokens += ["--frame-format", self.frame_format]
         if self.sub_roi_grid != defaults.sub_roi_grid:
             tokens += ["--sub-roi-grid", "x".join(str(v) for v in self.sub_roi_grid)]
         if not self.expose_motion_vectors:
@@ -356,6 +426,7 @@ class PipelineSpec:
             self.exhaustive_search,
             self.search_policy,
             self.kernel_backend,
+            self.frame_format,
             self.sub_roi_grid,
             self.expose_motion_vectors,
             self.soc_config,
@@ -375,6 +446,10 @@ class PipelineSpec:
             label += f"/{self.search_policy}"
         if self.kernel_backend != "numpy":
             label += f"/k:{self.kernel_backend}"
+        if self.frame_format != PipelineSpec().frame_format:
+            label += f"/{self.frame_format}"
+        if self.sub_roi_grid != PipelineSpec().sub_roi_grid:
+            label += f"/sr{self.sub_roi_grid[0]}x{self.sub_roi_grid[1]}"
         if not self.expose_motion_vectors:
             label += "/no-mv"
         if self.soc_config != "default":
@@ -407,6 +482,7 @@ class PipelineSpec:
             block_matching=self.block_matching_config(),
             extrapolation=ExtrapolationConfig(sub_roi_grid=self.sub_roi_grid),
             expose_motion_vectors=self.expose_motion_vectors,
+            frame_format=parse_frame_format(self.frame_format),
         )
 
     def window_controller(self) -> WindowController:

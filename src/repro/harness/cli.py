@@ -83,7 +83,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("list", help="list every registered experiment")
+    list_parser = subparsers.add_parser("list", help="list every registered experiment")
+    list_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable listing: experiments, searchable spec "
+        "dimensions, tune spaces/presets, tuned spec presets",
+    )
 
     run_parser = subparsers.add_parser("run", help="run one or more experiments by name")
     run_parser.add_argument("experiments", nargs="+", metavar="EXPERIMENT")
@@ -91,6 +97,80 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_all_parser = subparsers.add_parser("run-all", help="run every registered experiment")
     _add_run_options(run_all_parser)
+
+    tune_parser = subparsers.add_parser(
+        "tune",
+        help="design-space autotune: Pareto frontier search over the cost core",
+        description="Explore PipelineSpec x SoC-config design points with the "
+        "shared sweep runner, score each on (tracking accuracy, modeled "
+        "energy/frame, throughput) through the unified CostMeter pricing "
+        "core, and print the measured Pareto frontier.  Every evaluated "
+        "point is journaled to the --store JSONL as soon as it finishes; "
+        "killing a sweep and re-running with --resume evaluates only the "
+        "missing points (zero repeated evaluations).  Spec flags below set "
+        "the baseline configuration the frontier is anchored to.",
+    )
+    tune_parser.add_argument(
+        "--space",
+        default="ci",
+        metavar="NAME|FILE",
+        help="search space: a built-in name (ci, full) or a JSON "
+        "{dimension: [values]} file (default: ci)",
+    )
+    tune_parser.add_argument(
+        "--preset",
+        choices=["ci", "full"],
+        default="ci",
+        help="dataset fidelity every point is measured at (default: ci)",
+    )
+    tune_parser.add_argument(
+        "--strategy",
+        choices=["auto", "grid", "random", "halving"],
+        default="auto",
+        help="search strategy (default: auto = grid when the space fits "
+        "the budget, random otherwise)",
+    )
+    tune_parser.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on fresh evaluations this invocation (store hits are free)",
+    )
+    tune_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue the sweep journaled in --store instead of refusing "
+        "to overwrite it",
+    )
+    tune_parser.add_argument(
+        "--store",
+        default="out/tune/store.jsonl",
+        metavar="PATH",
+        help="JSONL journal of evaluated points (default: out/tune/store.jsonl)",
+    )
+    tune_parser.add_argument(
+        "--frontier-out",
+        default=None,
+        metavar="PATH",
+        help="also write the frontier artifact as JSON to PATH",
+    )
+    tune_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for sequence execution (default: 1, serial)",
+    )
+    tune_parser.add_argument(
+        "--seed", type=int, default=1, help="backend seed for every point (default: 1)"
+    )
+    tune_parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit markdown tables instead of aligned ASCII",
+    )
+    PipelineSpec.add_cli_options(tune_parser, include_window=False)
 
     serve_parser = subparsers.add_parser(
         "serve",
@@ -203,6 +283,112 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_tune(args: argparse.Namespace) -> int:
+    """Run (or resume) a design-space autotune and print the frontier."""
+    import json
+    from pathlib import Path
+
+    from .reporting import artifact_to_dict
+    from .tune import TuneError, run_tune
+
+    workers = args.workers if args.workers and args.workers > 1 else None
+
+    def log(message: str) -> None:
+        print(message, file=sys.stderr)
+
+    try:
+        report = run_tune(
+            args.space,
+            preset=args.preset,
+            strategy=args.strategy,
+            budget=args.budget,
+            seed=args.seed,
+            store_path=args.store,
+            resume=args.resume,
+            max_workers=workers,
+            base_spec=PipelineSpec.from_cli_args(args),
+            log=log,
+        )
+    except TuneError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        # Finished points are already journaled in --store; only the point
+        # in flight is lost.  The exit code mirrors a SIGINT-terminated
+        # process so scripted sweeps can distinguish "interrupted" from
+        # "failed".
+        print(
+            f"\ninterrupted; evaluated points are journaled in {args.store} — "
+            "re-run with --resume to continue without repeating them",
+            file=sys.stderr,
+        )
+        return 130
+    artifact = report.artifact
+    if args.markdown:
+        print(f"### {artifact.title}\n")
+        print(format_artifact(artifact, markdown=True))
+    else:
+        print(f"== {artifact.name}: {artifact.title} ==\n")
+        print(format_artifact(artifact))
+    best = artifact.metadata.get("best_at_baseline_accuracy")
+    if best:
+        saving = best.get("energy_saving_vs_baseline_pct")
+        saving_note = f" ({saving:+.1f}% energy vs baseline)" if saving is not None else ""
+        print(
+            f"\nbest at >= baseline accuracy: {best['describe']} — "
+            f"{best['energy_per_frame_mj']} mJ/frame at accuracy "
+            f"{best['accuracy']}{saving_note}"
+        )
+    if args.frontier_out:
+        path = Path(args.frontier_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(
+                artifact_to_dict(artifact), indent=2, sort_keys=True, allow_nan=False
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"[wrote {path}]", file=sys.stderr)
+    print(
+        f"[{report.evaluated} evaluated, {report.reused} reused from store; "
+        f"frontier: {len(report.frontier)} non-dominated point(s)]",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_list_json() -> int:
+    """Machine-readable ``list --json``: experiments + tuner surface."""
+    import json
+
+    from ..soc.config import TUNED_SPEC_PRESETS
+    from .tune import STRATEGIES, TUNE_PRESETS, TUNE_SPACES, searchable_dimensions
+
+    listing = {
+        "experiments": [
+            {
+                "name": spec.name,
+                "title": spec.title,
+                "kind": spec.kind,
+                "description": spec.description,
+            }
+            for spec in list_experiments()
+        ],
+        "spec_dimensions": searchable_dimensions(),
+        "spec_presets": {
+            name: dict(kwargs) for name, kwargs in sorted(TUNED_SPEC_PRESETS.items())
+        },
+        "tune": {
+            "spaces": TUNE_SPACES,
+            "presets": {name: fidelity.to_dict() for name, fidelity in TUNE_PRESETS.items()},
+            "strategies": list(STRATEGIES),
+        },
+    }
+    print(json.dumps(listing, indent=2, sort_keys=True))
+    return 0
+
+
 def _make_context(args: argparse.Namespace) -> ExperimentContext:
     workers = args.workers if args.workers and args.workers > 1 else None
     datasets = DatasetSpec.smoke() if args.smoke else DatasetSpec()
@@ -241,6 +427,8 @@ def _run(specs: Sequence[ExperimentSpec], args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
+        if args.json:
+            return cmd_list_json()
         for spec in list_experiments():
             print(f"{spec.name:8s} {spec.title}")
         return 0
@@ -255,6 +443,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run(specs, args)
     if args.command == "run-all":
         return _run(list_experiments(), args)
+    if args.command == "tune":
+        return cmd_tune(args)
     if args.command == "serve":
         return cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -78,17 +78,54 @@ def _format_cell(value: object) -> str:
 # ----------------------------------------------------------------------
 # JSON emitters
 # ----------------------------------------------------------------------
+def sanitize_json_value(value: object) -> object:
+    """Make a value strict-JSON safe (recursively).
+
+    ``json.dumps`` happily emits the non-standard ``NaN``/``Infinity``
+    literals, which strict parsers (and most other languages) reject.
+    Artifacts can legitimately carry non-finite measurements — a
+    zero-duration run has infinite fps, a 0/0 rate is NaN — so non-finite
+    floats are spelled as the strings ``"NaN"`` / ``"Infinity"`` /
+    ``"-Infinity"`` instead of corrupting the document.  Tuples become
+    lists; unknown objects fall back to ``str``.
+    """
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "NaN"
+        if value == float("inf"):
+            return "Infinity"
+        if value == float("-inf"):
+            return "-Infinity"
+        return value
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(key): sanitize_json_value(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [sanitize_json_value(item) for item in value]
+    return str(value)
+
+
 def artifact_to_dict(artifact: "ExperimentArtifact") -> dict:
-    """Convert an artifact to a JSON-serializable dict (dataclass → dict)."""
+    """Convert an artifact to a strict-JSON-serializable dict.
+
+    Cell values and metadata pass through :func:`sanitize_json_value`, so
+    the result round-trips through any JSON parser even when a table holds
+    NaN/inf measurements.
+    """
     return {
         "name": artifact.name,
         "title": artifact.title,
         "kind": artifact.kind,
         "tables": [
-            {"title": table.title, "headers": list(table.headers), "rows": [list(r) for r in table.rows]}
+            {
+                "title": table.title,
+                "headers": [str(header) for header in table.headers],
+                "rows": [[sanitize_json_value(cell) for cell in row] for row in table.rows],
+            }
             for table in artifact.tables
         ],
-        "metadata": dict(artifact.metadata),
+        "metadata": sanitize_json_value(dict(artifact.metadata)),
     }
 
 
@@ -122,7 +159,8 @@ def write_artifact_json(artifact: "ExperimentArtifact", directory: str | Path) -
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"{artifact.name}.json"
     path.write_text(
-        json.dumps(artifact_to_dict(artifact), indent=2, sort_keys=True) + "\n",
+        json.dumps(artifact_to_dict(artifact), indent=2, sort_keys=True, allow_nan=False)
+        + "\n",
         encoding="utf-8",
     )
     return path

@@ -17,6 +17,7 @@ gather path.
 
 from __future__ import annotations
 
+import re
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Optional
@@ -91,6 +92,39 @@ class FixedPointFormat:
 #: commit to DRAM plus 4 fractional bits of intermediate precision, the
 #: same lattice the SAD kernel probes for.
 DEFAULT_FRAME_FORMAT = FixedPointFormat(int_bits=8, frac_bits=4)
+
+#: Spelling of the unquantized float64 datapath in ``--frame-format``.
+FLOAT_FRAME_FORMAT = "float"
+
+_FRAME_FORMAT_PATTERN = re.compile(r"^q(\d+)\.(\d+)$")
+
+
+def parse_frame_format(value: "str | FixedPointFormat | None") -> "FixedPointFormat | None":
+    """Resolve a ``--frame-format`` spelling to a :class:`FixedPointFormat`.
+
+    ``"qM.F"`` (e.g. ``q8.4``) names an M-integer/F-fractional-bit lattice;
+    ``"float"`` (or ``None``) selects the unquantized float64 datapath.  An
+    already-built format passes through, so config layers accept either form.
+    """
+    if value is None or isinstance(value, FixedPointFormat):
+        return value
+    spelled = str(value).strip().lower()
+    if spelled == FLOAT_FRAME_FORMAT:
+        return None
+    match = _FRAME_FORMAT_PATTERN.match(spelled)
+    if match is None:
+        raise ValueError(
+            f"unknown frame format '{value}' (expected 'qM.F' like 'q8.4', "
+            f"or '{FLOAT_FRAME_FORMAT}')"
+        )
+    return FixedPointFormat(int_bits=int(match.group(1)), frac_bits=int(match.group(2)))
+
+
+def spell_frame_format(fmt: "FixedPointFormat | None") -> str:
+    """Inverse of :func:`parse_frame_format` (``q8.4`` / ``float``)."""
+    if fmt is None:
+        return FLOAT_FRAME_FORMAT
+    return f"q{fmt.int_bits}.{fmt.frac_bits}"
 
 
 @dataclass

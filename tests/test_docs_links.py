@@ -46,10 +46,15 @@ class TestRepoDocs:
         linted = {p.relative_to(REPO_ROOT).as_posix() for p in checker.iter_doc_files()}
         for required in (
             "README.md",
+            "EXPERIMENTS.md",
+            "ROADMAP.md",
+            "CHANGES.md",
+            "benchmarks/README.md",
             "docs/architecture.md",
             "docs/wire-protocol.md",
             "docs/kernels.md",
             "docs/benchmarking.md",
+            "docs/tuning.md",
         ):
             assert required in linted
 

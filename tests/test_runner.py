@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -11,6 +12,7 @@ from repro.harness.cli import main
 from repro.harness.reporting import (
     artifact_from_dict,
     artifact_to_dict,
+    format_artifact,
     write_artifact_json,
 )
 from repro.harness.runner import (
@@ -206,6 +208,56 @@ class TestJsonEmitters:
     def test_tables_become_plain_lists(self):
         payload = artifact_to_dict(self._artifact())
         assert payload["tables"][0]["rows"] == [["EW-2", 0.75, True], ["EW-4", 0.5, False]]
+
+
+class TestDegenerateArtifacts:
+    """Emitters must survive empty sweeps and non-finite measurements."""
+
+    def test_empty_sweep_artifact(self, tmp_path):
+        artifact = ExperimentArtifact(name="empty", title="Empty sweep", kind="figure")
+        artifact.add_table(["config", "value"], [])
+        assert "config" in format_artifact(artifact)
+        path = write_artifact_json(artifact, tmp_path)
+        payload = json.loads(path.read_text())
+        assert payload["tables"][0]["rows"] == []
+
+    def test_no_tables_at_all(self):
+        artifact = ExperimentArtifact(name="bare", title="No tables", kind="table")
+        assert "(no tabular data)" in format_artifact(artifact)
+        assert artifact_to_dict(artifact)["tables"] == []
+
+    def test_single_point_frontier(self):
+        artifact = ExperimentArtifact(name="one", title="One point", kind="figure")
+        artifact.add_table(["config", "mJ"], [["EW-2", 15.2]])
+        table = format_artifact(artifact, markdown=True)
+        assert table.count("| EW-2") == 1
+
+    def test_nan_and_inf_metrics_stay_strict_json(self, tmp_path):
+        artifact = ExperimentArtifact(name="nonfinite", title="Non-finite", kind="figure")
+        nan, inf = float("nan"), float("inf")
+        artifact.add_table(["config", "fps", "rate"], [["dead", inf, nan], ["neg", -inf, 0.5]])
+        artifact.metadata["worst_latency_ms"] = inf
+        payload = artifact_to_dict(artifact)
+        # Strict parsers must accept the document: no NaN/Infinity literals.
+        text = json.dumps(payload, allow_nan=False)
+        reparsed = json.loads(text)
+        assert reparsed["tables"][0]["rows"][0] == ["dead", "Infinity", "NaN"]
+        assert reparsed["tables"][0]["rows"][1] == ["neg", "-Infinity", 0.5]
+        assert reparsed["metadata"]["worst_latency_ms"] == "Infinity"
+        path = write_artifact_json(artifact, tmp_path)
+        json.loads(path.read_text())
+
+    def test_non_finite_cells_format_as_text(self):
+        from repro.harness.reporting import format_table
+
+        table = format_table(["a"], [[float("nan")], [float("inf")]])
+        assert "nan" in table and "inf" in table
+
+    def test_sanitizer_handles_nested_and_exotic_values(self):
+        from repro.harness.reporting import sanitize_json_value
+
+        value = {"tuple": (1, float("nan")), "path": Path("x"), 3: None}
+        assert sanitize_json_value(value) == {"tuple": [1, "NaN"], "path": "x", "3": None}
 
 
 class TestCli:

@@ -108,6 +108,8 @@ class TestCliRoundTrip:
             PipelineSpec(sub_roi_grid=(1, 1), expose_motion_vectors=False),
             PipelineSpec(soc_config="720p30", extrapolation_host="cpu"),
             PipelineSpec(soc_config="640x480@15"),
+            PipelineSpec(frame_format="q8.8"),
+            PipelineSpec(frame_format="float"),
         ],
     )
     def test_to_cli_args_round_trips(self, spec):
@@ -150,6 +152,8 @@ class TestCacheKey:
             PipelineSpec(expose_motion_vectors=False),
             PipelineSpec(soc_config="1080p30"),
             PipelineSpec(extrapolation_host="cpu"),
+            PipelineSpec(frame_format="q8.8"),
+            PipelineSpec(frame_format="float"),
         ]
         keys = {spec.cache_key() for spec in variants}
         assert len(keys) == len(variants)
@@ -250,3 +254,70 @@ class TestExecutionKnobs:
     def test_build_pipeline_shim_is_gone(self):
         with pytest.raises(ImportError):
             from repro.core.pipeline import build_pipeline  # noqa: F401
+
+
+class TestFrameFormat:
+    """The fixed-point frame-format knob (a vision knob: it changes outputs)."""
+
+    def test_spelling_is_canonicalized(self):
+        assert PipelineSpec(frame_format="Q8.8").frame_format == "q8.8"
+        assert PipelineSpec(frame_format="FLOAT").frame_format == "float"
+
+    def test_default_matches_pipeline_default(self):
+        from repro.isp.framebuffer import DEFAULT_FRAME_FORMAT, spell_frame_format
+
+        assert PipelineSpec().frame_format == spell_frame_format(DEFAULT_FRAME_FORMAT)
+
+    def test_malformed_format_rejected(self):
+        with pytest.raises(ValueError, match="frame format"):
+            PipelineSpec(frame_format="8bit")
+
+    def test_euphrates_config_receives_parsed_format(self):
+        config = PipelineSpec(frame_format="q8.8").euphrates_config()
+        assert (config.frame_format.int_bits, config.frame_format.frac_bits) == (8, 8)
+        assert PipelineSpec(frame_format="float").euphrates_config().frame_format is None
+
+    def test_describe_marks_non_default_format(self):
+        assert "/q8.8" in PipelineSpec(frame_format="q8.8").describe()
+        assert "/q8.4" not in PipelineSpec().describe()
+
+
+class TestSpecPresets:
+    """Named tuned presets (--spec-preset / PipelineSpec.from_preset)."""
+
+    def test_every_preset_builds(self):
+        from repro.soc.config import TUNED_SPEC_PRESETS
+
+        for name in TUNED_SPEC_PRESETS:
+            assert isinstance(PipelineSpec.from_preset(name), PipelineSpec)
+
+    def test_unknown_preset_lists_choices(self):
+        with pytest.raises(ValueError, match="tuned-ci-energy"):
+            PipelineSpec.from_preset("no-such-preset")
+
+    def test_overrides_win_over_preset_values(self):
+        spec = PipelineSpec.from_preset("tuned-ci-energy", block_size=8)
+        assert spec.block_size == 8
+
+    def test_cli_preset_selects_and_explicit_flags_override(self):
+        from repro.soc.config import TUNED_SPEC_PRESETS
+
+        parser = argparse.ArgumentParser()
+        PipelineSpec.add_cli_options(parser)
+        args = parser.parse_args(["--spec-preset", "tuned-ci-energy"])
+        assert PipelineSpec.from_cli_args(args) == PipelineSpec.from_preset(
+            "tuned-ci-energy"
+        )
+        args = parser.parse_args(
+            ["--spec-preset", "tuned-ci-energy", "--block-size", "8"]
+        )
+        assert PipelineSpec.from_cli_args(args).block_size == 8
+        # Defaulted flags never mask what the preset sets.
+        preset_kwargs = TUNED_SPEC_PRESETS["tuned-ci-energy"]
+        spec = PipelineSpec.from_cli_args(
+            parser.parse_args(["--spec-preset", "tuned-ci-energy"])
+        )
+        for name, value in preset_kwargs.items():
+            if name == "extrapolation_window":
+                value = normalize_window(value)
+            assert getattr(spec, name) == value
