@@ -110,8 +110,12 @@ class MotionExtrapolator:
         moved_sub_rois: List[BoundingBox] = []
         motions: List[MotionVector] = []
         confidences: List[float] = []
-        for sub in sub_rois:
-            motion, confidence = self._filtered_motion(sub, motion_field, state)
+        # Batch the Eq. 1/2 queries so the field's confidence grid is
+        # materialised once for the whole sub-ROI sweep; the per-sub-ROI
+        # Eq. 3 filter below is unchanged (bit-identical results).
+        statistics = motion_field.roi_statistics_batch(sub_rois)
+        for sub, (average, confidence) in zip(sub_rois, statistics):
+            motion = self._apply_confidence_filter(average, confidence, state)
             moved_sub_rois.append(sub.shift(motion))
             motions.append(motion)
             confidences.append(confidence)
@@ -139,14 +143,19 @@ class MotionExtrapolator:
     ) -> Tuple[MotionVector, float]:
         """Eqs. 1-3 for a single (sub-)ROI."""
         average, confidence = motion_field.roi_statistics(roi)  # Eqs. 1 and 2
+        return self._apply_confidence_filter(average, confidence, state), confidence
+
+    def _apply_confidence_filter(
+        self, average: MotionVector, confidence: float, state: RoiMotionState
+    ) -> MotionVector:
+        """The Eq. 3 recursive filter on an already-averaged motion."""
         if not self.config.use_confidence_filter:
-            return average, confidence
+            return average
         if confidence > self.config.confidence_threshold:
             beta = confidence
         else:
             beta = self.config.low_confidence_beta
-        filtered = average.blend(state.filtered_motion, beta)  # Eq. 3
-        return filtered, confidence
+        return average.blend(state.filtered_motion, beta)  # Eq. 3
 
     # ------------------------------------------------------------------
     # Multi-ROI extrapolation (detection scenario)

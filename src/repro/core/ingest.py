@@ -703,6 +703,9 @@ class IngestCore:
                 "ready_queued": len(stream.ready),
                 "reorder_buffered": stream.reorder.buffered,
                 "faults": stream.faults.as_dict(),
+                # Per-stage wall-clock seconds (stage profiler feed), so a
+                # /stats poll shows where each stream's frame time goes.
+                "stage_s": dict(stats.stage_s),
             }
         payload: Dict[str, object] = {
             "streams": streams,

@@ -36,12 +36,14 @@ backends consume.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from .extrapolation import MotionExtrapolator, RoiMotionState
+from .profiler import StageProfiler
 from .types import Detection, FrameKind, FrameResult, FrameTelemetry, SequenceResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -329,6 +331,9 @@ class EuphratesSession:
         # does it); oracle-fed ones defer until the first frame's truth is in.
         self._backend_started = oracle is None
         self.stats = SessionStats()
+        #: Aggregated per-stage wall-clock profile of every frame this
+        #: session has processed (observe-only, like the telemetry feed).
+        self.profiler = StageProfiler()
         # Whether the ISP can ever produce a motion field for this session;
         # used by next_frame_kind() to predict the I/E decision.
         config = isp.config
@@ -440,6 +445,7 @@ class EuphratesSession:
         degradation: str = "",
     ) -> FrameResult:
         """The per-frame algorithm body (split out for submit's rollback)."""
+        frame_start = time.perf_counter()
         ops_before = self._extrapolator.total_operations
         if not self._backend_started:
             # Dimension-bound sessions defer backend start until the first
@@ -448,7 +454,9 @@ class EuphratesSession:
             self._backend.start_sequence(self._source)
             self._backend_started = True
 
+        isp_start = time.perf_counter()
         processed = self._isp.process_luma(frame, frame_index)
+        isp_s = time.perf_counter() - isp_start
         motion_field = processed.motion_field
 
         can_extrapolate = motion_field is not None and bool(self._last_detections)
@@ -470,13 +478,19 @@ class EuphratesSession:
                 else "deferred-inference"
             )
 
+        extrapolation_s = 0.0
+        inference_s = 0.0
         if must_infer:
             predicted = None
             if can_extrapolate:
+                stage_start = time.perf_counter()
                 predicted = self._extrapolator.extrapolate_detections(
                     self._last_detections, motion_field, self._states
                 )
+                extrapolation_s += time.perf_counter() - stage_start
+            stage_start = time.perf_counter()
             detections = self._backend.infer(frame_index, processed.luma, self._source)
+            inference_s = time.perf_counter() - stage_start
             if predicted is not None:
                 disagreement = self._measure_disagreement(detections, predicted)
                 self._controller.observe_disagreement(disagreement)
@@ -485,9 +499,11 @@ class EuphratesSession:
             self._frames_since_inference = 0
             self.stats.inference_frames += 1
         else:
+            stage_start = time.perf_counter()
             detections = self._extrapolator.extrapolate_detections(
                 self._last_detections, motion_field, self._states
             )
+            extrapolation_s += time.perf_counter() - stage_start
             kind = FrameKind.EXTRAPOLATION
             self._frames_since_inference += 1
             self.stats.extrapolation_frames += 1
@@ -500,20 +516,29 @@ class EuphratesSession:
             window_size=self._controller.current_window,
         )
         self._frames.append(result)
-        self._telemetry.append(
-            FrameTelemetry(
-                frame_index=frame_index,
-                kind=kind,
-                pixels=int(frame.size),
-                rois=len(detections),
-                motion_ops=float(processed.motion_ops),
-                extrapolation_ops=float(
-                    self._extrapolator.total_operations - ops_before
-                ),
-                stream=self.name,
-                degradation=degradation,
-            )
+        denoise = (
+            self._isp.denoise_stage if self._isp.config.temporal_denoise else None
         )
+        record = FrameTelemetry(
+            frame_index=frame_index,
+            kind=kind,
+            pixels=int(frame.size),
+            rois=len(detections),
+            motion_ops=float(processed.motion_ops),
+            extrapolation_ops=float(
+                self._extrapolator.total_operations - ops_before
+            ),
+            stream=self.name,
+            degradation=degradation,
+            isp_s=isp_s,
+            motion_search_s=denoise.last_motion_s if denoise else 0.0,
+            denoise_blend_s=denoise.last_blend_s if denoise else 0.0,
+            extrapolation_s=extrapolation_s,
+            inference_s=inference_s,
+            total_s=time.perf_counter() - frame_start,
+        )
+        self._telemetry.append(record)
+        self.profiler.observe(record)
         self._next_index += 1
         self.stats.frames += 1
         self.stats.extrapolation_ops = (

@@ -44,6 +44,7 @@ from .executor import (
     ShardSchedule,
     StreamFailedError,
 )
+from .profiler import stage_seconds
 from .types import Detection, FrameKind, SequenceResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -81,6 +82,10 @@ class StreamStats:
     #: Seconds frames spent queued before the scheduler picked them.
     wait_s: float = 0.0
     max_queue_depth: int = 0
+    #: Per-stage wall-clock seconds accumulated from frame telemetry
+    #: (keys from :data:`repro.core.profiler.STAGE_NAMES`; empty until the
+    #: first frame carrying stage timings is absorbed).
+    stage_s: Dict[str, float] = field(default_factory=dict)
 
     @property
     def pending(self) -> int:
@@ -452,6 +457,9 @@ class StreamMultiplexer:
                 stats.extrapolation_frames += 1
             if record.telemetry is not None and record.telemetry.degradation:
                 stats.degraded_frames += 1
+            if record.telemetry is not None:
+                for stage, seconds in stage_seconds(record.telemetry).items():
+                    stats.stage_s[stage] = stats.stage_s.get(stage, 0.0) + seconds
             stats.busy_s += record.busy_s
             stats.wait_s += record.wait_s
             if record.batch_id >= 0:

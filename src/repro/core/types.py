@@ -72,6 +72,19 @@ class FrameTelemetry:
     #: ``"deferred-inference"``, ``"queue-degrade"``).  Empty on the normal
     #: path; observe-only, like every other telemetry field.
     degradation: str = ""
+    #: Per-stage wall-clock timings (seconds) stamped by the session.
+    #: Observe-only like everything else here: the energy model prices the
+    #: ``*_ops``/``pixels`` fields above, never these clocks.  ``isp_s``
+    #: covers the whole ISP call (of which ``motion_search_s`` and
+    #: ``denoise_blend_s`` are the two metered sub-stages); ``total_s`` is
+    #: the whole per-frame processing body.  All default 0.0 so telemetry
+    #: from older emitters (or hand-built test records) stays valid.
+    isp_s: float = 0.0
+    motion_search_s: float = 0.0
+    denoise_blend_s: float = 0.0
+    extrapolation_s: float = 0.0
+    inference_s: float = 0.0
+    total_s: float = 0.0
 
 
 @dataclass

@@ -172,6 +172,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     PipelineSpec.add_cli_options(tune_parser, include_window=False)
 
+    profile_parser = subparsers.add_parser(
+        "profile",
+        help="per-stage wall-clock breakdown of the frame path",
+        description="Submit synthetic camera frames through a real "
+        "EuphratesSession and print where each frame's wall-clock time "
+        "goes (ISP stages, motion search, denoise blend, extrapolation, "
+        "backend inference), split by resolution, I/E schedule and frame "
+        "kind.  Timings come from the FrameTelemetry stage clocks the "
+        "session stamps on every frame; they are observe-only and never "
+        "feed the energy model.",
+    )
+    profile_parser.add_argument(
+        "--resolution",
+        action="append",
+        choices=["720p", "1080p"],
+        default=None,
+        metavar="RES",
+        help="resolution(s) to profile (repeatable; default: both)",
+    )
+    profile_parser.add_argument(
+        "--frames",
+        type=int,
+        default=18,
+        metavar="N",
+        help="frames per (resolution, schedule) session (default: 18)",
+    )
+    profile_parser.add_argument(
+        "--seed", type=int, default=0, help="sequence/backend seed (default: 0)"
+    )
+    PipelineSpec.add_cli_options(profile_parser, include_window=False)
+
     serve_parser = subparsers.add_parser(
         "serve",
         help="serve the pipeline over TCP (asyncio ingestion front end)",
@@ -222,6 +253,24 @@ def build_parser() -> argparse.ArgumentParser:
     PipelineSpec.add_cli_options(serve_parser)
 
     return parser
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Print the per-stage wall-clock breakdown of the frame path."""
+    from .perf import RESOLUTIONS
+    from .pipeline_perf import format_profile_table, profile_report
+
+    if args.resolution:
+        resolutions = {name: RESOLUTIONS[name] for name in dict.fromkeys(args.resolution)}
+    else:
+        resolutions = None
+    spec = PipelineSpec.from_cli_args(args)
+    print(f"profiling {spec.describe()} ({args.frames} frames per schedule)\n")
+    report = profile_report(
+        spec, resolutions=resolutions, num_frames=args.frames, seed=args.seed
+    )
+    print(format_profile_table(report))
+    return 0
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -445,6 +494,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run(list_experiments(), args)
     if args.command == "tune":
         return cmd_tune(args)
+    if args.command == "profile":
+        return cmd_profile(args)
     if args.command == "serve":
         return cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")

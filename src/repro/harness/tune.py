@@ -49,7 +49,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from ..core.spec import EXTRAPOLATION_HOSTS, PipelineSpec, normalize_window
 from ..eval.tracking import success_rate
 from ..motion.block_matching import SearchPolicy
-from ..motion.kernels import KERNEL_BACKENDS
+from ..motion.kernels import KERNEL_BACKENDS, numba_available
 from ..nn.models import build_mdnet
 from ..video.datasets import build_tracking_dataset
 from .experiments import fold_energy_breakdown
@@ -86,17 +86,21 @@ class TuneError(RuntimeError):
 # ----------------------------------------------------------------------
 # Search spaces
 # ----------------------------------------------------------------------
-#: Built-in search spaces: dimension name -> candidate values.  Spaces are
-#: deliberately machine-independent (no "numba if installed" dimensions) so
-#: a resumed sweep re-derives the identical candidate list on any box; pass
-#: a JSON space file to search machine-specific dimensions like
-#: ``kernel_backend: ["numpy", "numba"]``.
+#: Built-in search spaces: dimension name -> candidate values.  The listed
+#: values are machine-independent; the one machine-specific candidate,
+#: ``kernel_backend="numba"``, is filtered out by :func:`load_space` on
+#: boxes without the ``[accel]`` extra (where it would only duplicate the
+#: numpy point via the graceful-degradation fallback), so accel machines
+#: search the compiled configs and resumed sweeps on the same box re-derive
+#: the identical candidate list.
 TUNE_SPACES: Dict[str, Dict[str, List[object]]] = {
     # Small co-design space for CI and quick local runs: window policy x
-    # capture preset, the two axes with the steepest energy gradients.
+    # capture preset (the two axes with the steepest energy gradients) x
+    # kernel backend where a compiled one exists.
     "ci": {
         "extrapolation_window": [1, 2, 4, 8, "adaptive"],
         "soc_config": ["default", "720p30"],
+        "kernel_backend": ["numpy", "numba"],
     },
     # The full co-design space of the paper's sensitivity studies.
     "full": {
@@ -148,6 +152,11 @@ def load_space(space: Union[str, Dict[str, List[object]]]) -> Tuple[str, Dict[st
             raise TuneError(f"dimension '{name}' needs a non-empty list of values")
         if name == "sub_roi_grid":
             values = [tuple(int(v) for v in value) for value in values]
+        if name == "kernel_backend" and not numba_available():
+            # Without the [accel] extra a "numba" point degrades to numpy at
+            # build time and would only duplicate the numpy point's work;
+            # drop it so the candidate list matches what the box can run.
+            values = [v for v in values if v != "numba"] or ["numpy"]
         validated[name] = list(values)
     return label, validated
 

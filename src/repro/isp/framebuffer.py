@@ -72,10 +72,51 @@ class FixedPointFormat:
                 return np.dtype(candidate)
         return np.dtype(np.uint64)
 
-    def quantize(self, values: np.ndarray) -> np.ndarray:
-        """Round to the nearest representable value (saturating, float64 out)."""
-        scaled = np.rint(np.asarray(values, dtype=np.float64) * self.scale)
-        return np.clip(scaled, 0.0, (1 << self.total_bits) - 1) / self.scale
+    def quantize(
+        self,
+        values: np.ndarray,
+        out: "np.ndarray | None" = None,
+        *,
+        assume_in_range: bool = False,
+    ) -> np.ndarray:
+        """Round to the nearest representable value (saturating, float64 out).
+
+        ``out`` (a float64 buffer of the right shape, which may alias
+        ``values``) makes the operation allocation-free for steady-state
+        callers; the in-place sequence multiplies, rounds, clips and
+        rescales in exactly the order of the allocating expression, so both
+        paths are bit-identical.  ``assume_in_range`` skips the saturation
+        pass; callers may only set it when every value provably lies in
+        ``[0, max_value]`` (then the clip is an exact no-op, so the result
+        is unchanged — this just avoids a full pass over the frame).
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if assume_in_range and self.total_bits <= 51:
+            # Two passes instead of four: adding ``1.5 * 2**52 / scale``
+            # pushes the sum into a binade whose ulp is exactly the lattice
+            # step, so IEEE round-to-nearest-even performs the same rounding
+            # ``rint(x * scale) / scale`` does (ties included), and the
+            # subtraction restores the rounded value exactly.  Valid while
+            # the value range stays below the constant's half-binade, which
+            # ``assume_in_range`` plus ``total_bits <= 51`` guarantees.
+            magic = float(3 << 51) / self.scale
+            if out is None:
+                return (values + magic) - magic
+            np.add(values, magic, out=out)
+            np.subtract(out, magic, out=out)
+            return out
+        top_code = float((1 << self.total_bits) - 1)
+        if out is None:
+            scaled = np.rint(values * self.scale)
+            if not assume_in_range:
+                scaled = np.clip(scaled, 0.0, top_code)
+            return scaled / self.scale
+        np.multiply(values, float(self.scale), out=out)
+        np.rint(out, out=out)
+        if not assume_in_range:
+            np.clip(out, 0.0, top_code, out=out)
+        np.divide(out, float(self.scale), out=out)
+        return out
 
     def to_raw(self, values: np.ndarray) -> np.ndarray:
         """Quantize and pack into raw integer codes (the DRAM representation)."""

@@ -1,0 +1,168 @@
+"""Compiled (Numba) ISP stage kernels: denoise blend, demosaic, box sum.
+
+The ISP half of the optional ``numba`` kernel backend
+(``PipelineSpec(kernel_backend="numba")``).  Where
+:mod:`repro.motion.kernels_numba` compiles the SAD search, this module
+compiles the remaining per-frame ISP hot loops:
+
+* a **fused motion-compensated blend** — validity test (SAD threshold +
+  bounds), gather and blend in one pass over the macroblock grid, covering
+  full and ragged edge blocks alike, writing straight into the caller's
+  scratch buffer with zero temporaries;
+* the 3x3 **box sum** and mask-based **bilinear demosaic** used by the RAW
+  path's Demosaic stage.
+
+Bit-identity contract: the blend's per-pixel arithmetic is exactly the
+reference expression ``(1-s)*current + s*reference`` (one multiply-add pair
+per pixel, no reassociation), the source offset uses the same half-to-even
+rounding as the reference's ``round()``, and the box sum/demosaic accumulate
+the nine neighbours in the reference's ``dy``-major, ``dx``-minor order — so
+all three are bit-identical to :mod:`repro.isp.reference` even on genuinely
+fractional float frames, not just in the exact-integer domain.
+
+When Numba is not installed the module still imports cleanly:
+``NUMBA_AVAILABLE`` is ``False``, ``@njit`` degrades to a no-op decorator,
+and every kernel remains callable as plain (slow) Python — how the
+bit-identity property tests exercise this code without the ``[accel]``
+extra.  Backend *selection* never routes here in that case:
+:func:`repro.motion.kernels.resolve_kernel_backend` degrades ``"numba"`` to
+``"numpy"``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+try:  # pragma: no cover - exercised via the subprocess fallback test
+    from numba import njit as _njit
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - the no-numba environment itself
+    NUMBA_AVAILABLE = False
+
+    def _njit(*args, **kwargs):
+        """No-op stand-in: keeps the kernels importable and callable."""
+
+        def decorate(func):
+            return func
+
+        return decorate
+
+
+def _jit(func):
+    """``@njit(cache=True)`` when Numba is present, identity otherwise."""
+    return _njit(cache=True)(func)
+
+
+@_jit
+def _rint_half_even(value):
+    """Round to nearest, ties to even — ``round()``/``np.rint`` semantics."""
+    rounded = math.floor(value + 0.5)
+    if value + 0.5 == rounded and rounded % 2 != 0:
+        rounded -= 1
+    return rounded
+
+
+@_jit
+def blend_frame(current, previous, vectors, sad, block, max_sad, strength, out):
+    """Fused motion-compensated blend over the whole macroblock grid.
+
+    ``out`` must already hold a copy of ``current`` (the caller's scratch
+    buffer); blocks with a good-enough match are overwritten with the
+    blended values, everything else is left as the pass-through copy.
+    """
+    height, width = current.shape
+    grid_rows, grid_cols = sad.shape
+    for row in range(grid_rows):
+        y0 = row * block
+        y1 = min(y0 + block, height)
+        for col in range(grid_cols):
+            if sad[row, col] > max_sad:
+                continue
+            x0 = col * block
+            x1 = min(x0 + block, width)
+            u = vectors[row, col, 0]
+            v = vectors[row, col, 1]
+            src_y0 = _rint_half_even(y0 - v)
+            src_x0 = _rint_half_even(x0 - u)
+            src_y1 = src_y0 + (y1 - y0)
+            src_x1 = src_x0 + (x1 - x0)
+            if src_y0 < 0 or src_x0 < 0 or src_y1 > height or src_x1 > width:
+                continue
+            for y in range(y0, y1):
+                source_y = src_y0 + (y - y0)
+                for x in range(x0, x1):
+                    out[y, x] = (1.0 - strength) * current[y, x] + strength * previous[
+                        source_y, src_x0 + (x - x0)
+                    ]
+
+
+@_jit
+def _reflect(index, size):
+    """np.pad ``mode="reflect"`` index mapping for a 1-wide border."""
+    if index < 0:
+        return -index
+    if index >= size:
+        return 2 * size - 2 - index
+    return index
+
+
+@_jit
+def box_sum_3x3(image, out):
+    """3x3 reflected-border box sum, neighbours added in dy-major order."""
+    height, width = image.shape
+    for y in range(height):
+        for x in range(width):
+            total = 0.0
+            for dy in range(-1, 2):
+                source_y = _reflect(y + dy, height)
+                for dx in range(-1, 2):
+                    total += image[source_y, _reflect(x + dx, width)]
+            out[y, x] = total
+
+
+@_jit
+def bilinear_demosaic(bayer, channel_map, out):
+    """Mask-based bilinear demosaic into ``out`` (height x width x 3).
+
+    Per pixel and channel: the sensed value where the CFA has that channel,
+    otherwise the 3x3 neighbour average computed exactly as the reference
+    does it (masked sum and count accumulated in dy-major order, division
+    guarded at 1e-9), all clipped to [0, 255].
+    """
+    height, width = bayer.shape
+    for y in range(height):
+        for x in range(width):
+            for channel in range(3):
+                if channel_map[y, x] == channel:
+                    value = bayer[y, x]
+                else:
+                    summed = 0.0
+                    count = 0.0
+                    for dy in range(-1, 2):
+                        source_y = _reflect(y + dy, height)
+                        for dx in range(-1, 2):
+                            source_x = _reflect(x + dx, width)
+                            if channel_map[source_y, source_x] == channel:
+                                summed += bayer[source_y, source_x]
+                                count += 1.0
+                    if count > 0:
+                        guarded = count if count > 1e-9 else 1e-9
+                        value = summed / guarded
+                    else:
+                        value = 0.0
+                if value < 0.0:
+                    value = 0.0
+                elif value > 255.0:
+                    value = 255.0
+                out[y, x, channel] = value
+
+
+__all__ = [
+    "NUMBA_AVAILABLE",
+    "bilinear_demosaic",
+    "blend_frame",
+    "box_sum_3x3",
+]

@@ -10,12 +10,13 @@ matching a conventional ISP.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
 
 from ..motion.block_matching import BlockMatchingConfig
+from ..motion.kernels import resolve_kernel_backend
 from ..motion.motion_field import MotionField
 from .denoise import TemporalDenoiseConfig, TemporalDenoiseStage
 from .framebuffer import (
@@ -66,18 +67,38 @@ class ISPConfig:
         return self.active_power_w * (1.0 + self.motion_estimation_power_overhead)
 
 
-@dataclass
 class ProcessedFrame:
-    """Output of the ISP for one frame."""
+    """Output of the ISP for one frame.
 
-    frame_index: int
-    luma: np.ndarray
-    rgb: np.ndarray
-    motion_field: Optional[MotionField]
-    #: Total arithmetic operations spent by the ISP on this frame.
-    total_ops: float
-    #: Operations spent on motion estimation alone.
-    motion_ops: float
+    ``rgb`` is lazy: the luma-only hot path (:meth:`ISPPipeline.process_luma`)
+    never materialises an RGB image — consumers that do ask for one get the
+    luma plane replicated across three channels, computed on first access.
+    The RAW path (:meth:`ISPPipeline.process`) supplies the real RGB output.
+    """
+
+    def __init__(
+        self,
+        frame_index: int,
+        luma: np.ndarray,
+        motion_field: Optional[MotionField],
+        total_ops: float,
+        motion_ops: float,
+        rgb: Optional[np.ndarray] = None,
+    ) -> None:
+        self.frame_index = frame_index
+        self.luma = luma
+        self.motion_field = motion_field
+        #: Total arithmetic operations spent by the ISP on this frame.
+        self.total_ops = total_ops
+        #: Operations spent on motion estimation alone.
+        self.motion_ops = motion_ops
+        self._rgb = rgb
+
+    @property
+    def rgb(self) -> np.ndarray:
+        if self._rgb is None:
+            self._rgb = np.repeat(self.luma[:, :, None], 3, axis=2)
+        return self._rgb
 
 
 class ISPPipeline:
@@ -91,27 +112,51 @@ class ISPPipeline:
         self.config = config or ISPConfig()
         self.frame_buffer = frame_buffer or FrameBuffer()
         frame_format = self.config.frame_format
+        kernel_backend = resolve_kernel_backend(
+            self.config.block_matching.kernel_backend
+        )
         self.bayer_stages: List[ISPStage] = [
             DeadPixelCorrection(output_format=frame_format),
-            Demosaic(output_format=frame_format),
+            Demosaic(output_format=frame_format, kernel_backend=kernel_backend),
         ]
         self.rgb_stages: List[ISPStage] = [
             WhiteBalance(output_format=frame_format),
             GammaCorrection(self.config.gamma, output_format=frame_format),
         ]
+        # The pipeline always commits a quantized (or copied) frame, so the
+        # denoise stage can safely recycle its output buffers across frames.
         self.denoise_stage = TemporalDenoiseStage(
             TemporalDenoiseConfig(
                 block_matching=self.config.block_matching,
                 matching_format=frame_format,
-            )
+            ),
+            reuse_output_buffers=True,
         )
         #: Number of frames processed since construction / reset.
         self.frames_processed = 0
+        # Ring of committed-frame buffers (depth + 1 so a buffer is only
+        # recycled after its FrameBufferEntry has been evicted).  Committed
+        # pixels are therefore valid for as long as the entry is resident in
+        # the frame buffer; consumers that need a frame for longer copy it.
+        self._committed_ring: List[np.ndarray] = []
+        self._committed_index = 0
 
     def reset(self) -> None:
         """Reset temporal state (previous-frame reference) and counters."""
         self.denoise_stage.reset()
         self.frames_processed = 0
+
+    def _next_committed_buffer(self, shape) -> np.ndarray:
+        """The next float64 commit buffer from the reuse ring."""
+        size = self.frame_buffer.depth + 1
+        if len(self._committed_ring) != size or self._committed_ring[0].shape != shape:
+            self._committed_ring = [
+                np.empty(shape, dtype=np.float64) for _ in range(size)
+            ]
+            self._committed_index = 0
+        buffer = self._committed_ring[self._committed_index % size]
+        self._committed_index += 1
+        return buffer
 
     # ------------------------------------------------------------------
     # Main entry point
@@ -145,6 +190,10 @@ class ISPPipeline:
                 # The DRAM store is fixed-point: the committed frame lies on
                 # the datapath lattice like every other stage output.
                 luma = self.config.frame_format.quantize(luma)
+            else:
+                # The denoise stage recycles its output buffers; the
+                # committed frame must own its pixels.
+                luma = np.array(luma, dtype=np.float64, copy=True)
 
         exposed_field = motion_field if self.config.expose_motion_vectors else None
         entry = FrameBufferEntry(
@@ -190,36 +239,45 @@ class ISPPipeline:
 
         motion_field: Optional[MotionField] = None
         motion_ops = 0.0
+        committed = self._next_committed_buffer(luma.shape)
         if self.config.temporal_denoise:
             denoised, motion_field = self.denoise_stage.process(luma)
             motion_ops = float(self.denoise_stage.last_motion_ops)
             total_ops += motion_ops + self.denoise_stage.ops_per_pixel * pixel_count
             if self.config.frame_format is not None:
-                # Fixed-point DRAM store, as in :meth:`process`.  For the
-                # integer frames the experiments feed through this path the
-                # blend output already lies on the lattice, so this is an
-                # exact no-op there.
-                denoised = self.config.frame_format.quantize(denoised)
+                # Fixed-point DRAM store, as in :meth:`process`.  Quantizes
+                # into the commit ring: the denoise output is scratch the
+                # stage will recycle.  When the stream is all-uint8 the
+                # denoise output provably fits the format's range, so the
+                # quantizer's saturation pass is skipped (an exact no-op).
+                self.config.frame_format.quantize(
+                    denoised,
+                    out=committed,
+                    assume_in_range=(
+                        self.denoise_stage.output_in_unit8_range
+                        and self.config.frame_format.max_value >= 255.0
+                    ),
+                )
+            else:
+                np.copyto(committed, denoised)
         else:
             # Without the denoise stage nothing downstream widens the frame,
             # so keep the legacy float64 contract for the committed pixels.
-            denoised = np.asarray(luma, dtype=np.float64)
+            np.copyto(committed, luma)
 
         exposed_field = motion_field if self.config.expose_motion_vectors else None
         entry = FrameBufferEntry(
             frame_index=frame_index,
-            pixels=denoised,
+            pixels=committed,
             motion_field=exposed_field,
             pixel_format=self.config.frame_format,
         )
         self.frame_buffer.push(entry)
         self.frames_processed += 1
 
-        rgb = np.repeat(denoised[:, :, None], 3, axis=2)
         return ProcessedFrame(
             frame_index=frame_index,
-            luma=denoised,
-            rgb=rgb,
+            luma=committed,
             motion_field=exposed_field,
             total_ops=total_ops,
             motion_ops=motion_ops,

@@ -50,7 +50,7 @@ from typing import List, Tuple
 import numpy as np
 
 from . import kernels_numba
-from .kernels import KERNEL_BACKENDS, SadKernel
+from .kernels import KERNEL_BACKENDS, KernelScratch, SadKernel
 from .motion_field import MacroblockGrid, MotionField
 
 
@@ -197,6 +197,10 @@ class BlockMatcher:
         #: Kernel backend that actually served the most recent estimate
         #: (``numba`` only when compiled and in exact-integer mode).
         self.last_kernel_backend = "numpy"
+        # Buffer pool shared by the per-frame kernels (diff images, float32
+        # reduction staging) so the steady-state frame path stops paying
+        # ~16 MB of fresh allocations per estimate.
+        self._kernel_scratch = KernelScratch()
 
     # ------------------------------------------------------------------
     # Public API
@@ -227,6 +231,7 @@ class BlockMatcher:
             self.config.block_size,
             self.config.search_range,
             backend=self.config.kernel_backend,
+            scratch=self._kernel_scratch,
         )
 
         self.last_kernel_exact = kernel.exact_integer

@@ -56,6 +56,13 @@ from . import kernels_numba
 #: guarantees every SAD stays far below 2**53 so float64 sums are exact.
 _MAX_EXACT_INT = 2**20
 
+#: Most *distinct* per-block displacements :meth:`SadKernel.sad_per_block`
+#: serves with grouped whole-frame passes before falling back to the gather
+#: kernel.  Each group costs one shifted-difference pass over the frame, so
+#: past a few groups the gather's single pass (plus its indexing overhead)
+#: wins again.
+_GROUPED_OFFSET_LIMIT = 3
+
 #: Kernel backends selectable through ``PipelineSpec(kernel_backend=...)``.
 #: ``numpy`` is the default and the performance oracle the compiled backend
 #: is property-tested against; ``numba`` compiles the integer-domain hot
@@ -155,6 +162,60 @@ def fixed_point_scale(*frames: np.ndarray) -> Optional[int]:
     return None
 
 
+class KernelScratch:
+    """Reusable buffer pool shared by successive :class:`SadKernel` instances.
+
+    A kernel is built per frame pair, but its scratch buffers (difference
+    images, float32 reduction staging) depend only on the frame geometry and
+    working dtype — reallocating ~16 MB of them every frame costs more in
+    page faults than the SAD arithmetic they stage.  A long-lived owner (the
+    :class:`~repro.motion.block_matching.BlockMatcher`) passes one pool to
+    every kernel it builds; buffers are handed back by name and reallocated
+    only when the geometry or dtype changes.
+
+    Buffers hold no state between uses (every consumer overwrites before
+    reading), but a pool must not be shared by two kernels evaluated
+    *interleaved* — sequential per-frame use only.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict = {}
+
+    def get(self, name: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        buffer = self._buffers.get(name)
+        if (
+            buffer is None
+            or buffer.shape != tuple(shape)
+            or buffer.dtype != np.dtype(dtype)
+        ):
+            buffer = np.empty(shape, dtype=dtype)
+            self._buffers[name] = buffer
+        return buffer
+
+
+def _edge_pad_pooled(
+    frame: np.ndarray, pad: int, pool: KernelScratch
+) -> np.ndarray:
+    """``np.pad(frame, pad, mode="edge")`` into a pooled buffer.
+
+    Replicates the border pixels exactly like ``mode="edge"`` (corner cells
+    fall out of padding the columns after the rows), but writes into a
+    reusable buffer instead of allocating a fresh padded frame per call.
+    """
+    if pad == 0:
+        return frame
+    height, width = frame.shape
+    padded = pool.get(
+        "padded_frame", (height + 2 * pad, width + 2 * pad), frame.dtype
+    )
+    padded[pad : pad + height, pad : pad + width] = frame
+    padded[:pad, pad : pad + width] = frame[:1, :]
+    padded[pad + height :, pad : pad + width] = frame[-1:, :]
+    padded[:, :pad] = padded[:, pad : pad + 1]
+    padded[:, pad + width :] = padded[:, pad + width - 1 : pad + width]
+    return padded
+
+
 class SadKernel:
     """Per-offset SAD evaluation over a whole macroblock grid.
 
@@ -193,6 +254,7 @@ class SadKernel:
         search_range: int,
         exact_integer: bool | None = None,
         backend: str = "numpy",
+        scratch: Optional[KernelScratch] = None,
     ) -> None:
         if current.shape != previous.shape:
             raise ValueError(
@@ -229,6 +291,7 @@ class SadKernel:
             else "numpy"
         )
 
+        pool = scratch if scratch is not None else KernelScratch()
         if self.exact_integer:
             if self.scale != 1:
                 # Lattice values times a power of two are exact integers in
@@ -237,8 +300,8 @@ class SadKernel:
                 previous = np.rint(np.asarray(previous, dtype=np.float64) * self.scale)
             work = self._integer_dtype(current, previous)
             self._current = np.ascontiguousarray(current, dtype=work)
-            self._padded = np.pad(
-                np.asarray(previous, dtype=work), search_range, mode="edge"
+            self._padded = _edge_pad_pooled(
+                np.asarray(previous, dtype=work), search_range, pool
             )
             # int32 sums cannot overflow for uint8 diffs with L <= 2896 and
             # are measurably faster than int64 on the hot path.
@@ -246,16 +309,54 @@ class SadKernel:
                 self._accum_dtype = np.int32
             else:
                 self._accum_dtype = np.int64
+            # Whole-frame uniform SADs reduce via float32 GEMV when every
+            # possible block SAD stays below 2**24: float32 then represents
+            # every partial sum exactly (all terms are non-negative bounded
+            # integers), so the BLAS reduction is bit-equal to the integer
+            # sum while running ~3x faster than a strided integer reduction.
+            if work == np.uint8:
+                max_diff = 255.0
+            elif self._current.size:
+                lo = min(float(self._current.min()), float(self._padded.min()))
+                hi = max(float(self._current.max()), float(self._padded.max()))
+                max_diff = hi - lo
+            else:
+                max_diff = 0.0
+            self._f32_reduction_exact = (
+                max_diff * block_size * block_size < float(2**24)
+            )
+            self._ones_f32 = np.ones(block_size, dtype=np.float32)
+            # Scratch reused across the ~25 SAD evaluations a search makes
+            # with one kernel (and, via a caller-supplied pool, across the
+            # kernels of successive frames): fresh 2 MB allocations per
+            # candidate cost more in page faults than the arithmetic itself.
+            self._frame_diff = pool.get("frame_diff", (height, width), work)
+            self._frame_diff2 = pool.get("frame_diff2", (height, width), work)
+            self._frame_f32 = (
+                pool.get("frame_f32", (height, width), np.float32)
+                if self._f32_reduction_exact
+                else None
+            )
+            block_shape = (self.rows, self.cols, block_size * block_size)
+            self._block_diff = pool.get("block_diff", block_shape, work)
+            self._block_diff2 = pool.get("block_diff2", block_shape, work)
         else:
             self._current = np.ascontiguousarray(current, dtype=np.float64)
-            self._padded = np.pad(
-                np.asarray(previous, dtype=np.float64), search_range, mode="edge"
+            self._padded = _edge_pad_pooled(
+                np.asarray(previous, dtype=np.float64), search_range, pool
             )
 
-        # (rows, cols, L, L) contiguous copy of the current frame's blocks.
-        self._current_blocks = np.ascontiguousarray(
+        # (rows, cols, L, L) contiguous copy of the current frame's blocks,
+        # staged in the pool so successive frames reuse the same pages.
+        self._current_blocks = pool.get(
+            "current_blocks",
+            (self.rows, self.cols, block_size, block_size),
+            self._current.dtype,
+        )
+        np.copyto(
+            self._current_blocks,
             self._current.reshape(self.rows, block_size, self.cols, block_size)
-            .transpose(0, 2, 1, 3)
+            .transpose(0, 2, 1, 3),
         )
         # windows[y, x] is the (L, L) patch of the padded previous frame with
         # top-left (y, x); block (r, c) at offset (dy, dx) reads
@@ -311,7 +412,56 @@ class SadKernel:
             )
             return self._descale(out)
         if self.exact_integer:
-            return self._gathered_sad_int(dy, dx)
+            # Whole-frame shifted difference instead of the (rows, cols, L, L)
+            # fancy-index gather: the shifted reference is a *view* of the
+            # padded frame, so this touches each pixel once at the narrow
+            # working dtype.  Integer sums are exact in any order, so every
+            # reduction below is bit-identical to the gather kernel (and to
+            # the scalar reference) by exactness.
+            d = self.search_range
+            L = self.block_size
+            shifted = self._padded[
+                d + dy : d + dy + self.frame_height, d + dx : d + dx + self.frame_width
+            ]
+            if self._current.dtype == np.uint8 and self._f32_reduction_exact:
+                # |a - b| for uint8 via max/min, with the final subtract
+                # emitting float32 directly (the ufunc upcasts both uint8
+                # operands to float32, where differences <= 255 are exact) —
+                # this fuses away the separate widening pass the GEMV input
+                # would otherwise need.
+                np.maximum(self._current, shifted, out=self._frame_diff)
+                np.minimum(self._current, shifted, out=self._frame_diff2)
+                np.subtract(
+                    self._frame_diff, self._frame_diff2, out=self._frame_f32
+                )
+                partial = self._frame_f32.reshape(-1, L) @ self._ones_f32
+                partial = partial.reshape(self.frame_height, self.cols)
+                sad = partial.reshape(self.rows, L, self.cols).transpose(0, 2, 1) @ (
+                    self._ones_f32
+                )
+                return self._descale(sad.astype(np.int64))
+            diff = self._frame_diff
+            if self._current.dtype == np.uint8:
+                np.maximum(self._current, shifted, out=diff)
+                np.minimum(self._current, shifted, out=self._frame_diff2)
+                np.subtract(diff, self._frame_diff2, out=diff)
+            else:
+                np.subtract(self._current, shifted, out=diff)
+                np.abs(diff, out=diff)
+            if self._f32_reduction_exact:
+                # Two exact float32 GEMVs: columns within each block row of
+                # pixels, then the L pixel rows of each block.
+                np.copyto(self._frame_f32, diff, casting="unsafe")
+                partial = self._frame_f32.reshape(-1, L) @ self._ones_f32
+                partial = partial.reshape(self.frame_height, self.cols)
+                sad = partial.reshape(self.rows, L, self.cols).transpose(0, 2, 1) @ (
+                    self._ones_f32
+                )
+                return self._descale(sad.astype(np.int64))
+            sad = diff.reshape(self.rows, L, self.cols, L).sum(
+                axis=(1, 3), dtype=self._accum_dtype
+            )
+            return self._descale(sad)
         d = self.search_range
         shifted = self._padded[
             d + dy : d + dy + self.frame_height, d + dx : d + dx + self.frame_width
@@ -342,6 +492,9 @@ class SadKernel:
             )
             return self._descale(out)
         if self.exact_integer:
+            grouped = self._grouped_sad_int(dy, dx)
+            if grouped is not None:
+                return grouped
             return self._gathered_sad_int(dy, dx)
         references = self._windows[self._base_y + dy, self._base_x + dx]
         # The ufunc output is C-contiguous, so the trailing-axes reduction
@@ -561,14 +714,58 @@ class SadKernel:
     # ------------------------------------------------------------------
     # Exact-integer gather kernel
     # ------------------------------------------------------------------
+    def _grouped_sad_int(self, dy, dx) -> Optional[np.ndarray]:
+        """Per-block SADs via whole-frame passes grouped by unique offset.
+
+        Three-step search starts every block at the same center, so early
+        candidate evaluations carry only a handful of *distinct* per-block
+        displacements.  Each distinct offset is then served by one uniform
+        whole-frame shifted-difference pass (:meth:`sad_uniform`'s fast
+        path) and masked into place — far cheaper than the fancy-index
+        gather, and bit-identical by integer exactness.  Returns ``None``
+        when the offsets are too diverse for grouping to pay off (the
+        gather kernel handles those).
+        """
+        dy_arr = np.asarray(dy)
+        dx_arr = np.asarray(dx)
+        if dy_arr.ndim == 0 and dx_arr.ndim == 0:
+            return self.sad_uniform(int(dy_arr), int(dx_arr))
+        shape = (self.rows, self.cols)
+        span = 2 * self.search_range + 1
+        keys = (
+            np.broadcast_to(dy_arr, shape).astype(np.int64) + self.search_range
+        ) * span + (
+            np.broadcast_to(dx_arr, shape).astype(np.int64) + self.search_range
+        )
+        unique_keys = np.unique(keys)
+        if unique_keys.size > _GROUPED_OFFSET_LIMIT:
+            return None
+        out = np.empty(shape, dtype=np.float64)
+        for key in unique_keys:
+            offset_dy = int(key) // span - self.search_range
+            offset_dx = int(key) % span - self.search_range
+            mask = keys == key
+            out[mask] = self.sad_uniform(offset_dy, offset_dx)[mask]
+        return out
+
     def _gathered_sad_int(self, dy, dx) -> np.ndarray:
         references = self._windows[self._base_y + dy, self._base_x + dx]
-        if self._current_blocks.dtype == np.uint8:
-            diff = np.subtract(
-                np.maximum(self._current_blocks, references),
-                np.minimum(self._current_blocks, references),
-            )
+        # Flatten each block's (L, L) patch to L*L before the element-wise
+        # ops: both operands are C-contiguous, so the flat view hands the
+        # ufunc inner loop L*L contiguous elements instead of L, amortising
+        # its per-row setup (~3x on 16x16 blocks).  Identical values —
+        # element-wise ops don't care about the shape.
+        flat_refs = references.reshape(references.shape[0], references.shape[1], -1)
+        flat_blocks = self._current_blocks.reshape(
+            self.rows, self.cols, -1
+        )
+        diff = self._block_diff
+        if flat_blocks.dtype == np.uint8:
+            np.maximum(flat_blocks, flat_refs, out=diff)
+            np.minimum(flat_blocks, flat_refs, out=self._block_diff2)
+            np.subtract(diff, self._block_diff2, out=diff)
         else:
-            diff = np.abs(self._current_blocks - references)
-        sad = diff.reshape(self.rows, self.cols, -1).sum(axis=-1, dtype=self._accum_dtype)
+            np.subtract(flat_blocks, flat_refs, out=diff)
+            np.abs(diff, out=diff)
+        sad = diff.sum(axis=-1, dtype=self._accum_dtype)
         return self._descale(sad)

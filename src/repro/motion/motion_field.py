@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -128,6 +128,9 @@ class MotionField:
         self.sad = sad
         self.grid = grid
         self.search_range = search_range
+        # Lazily-computed full-grid confidence (the field is treated as
+        # immutable once built; every producer constructs a fresh instance).
+        self._confidence: "np.ndarray | None" = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -163,9 +166,17 @@ class MotionField:
         return 255.0 * self.grid.block_size * self.grid.block_size
 
     def confidence(self) -> np.ndarray:
-        """Per-macroblock confidence alpha = 1 - SAD / (255 * L^2) (Eq. 2)."""
-        alpha = 1.0 - self.sad / self.max_sad
-        return np.clip(alpha, 0.0, 1.0)
+        """Per-macroblock confidence alpha = 1 - SAD / (255 * L^2) (Eq. 2).
+
+        Memoized: the extrapolator queries several (sub-)ROIs against the
+        same field each frame, and recomputing the full-grid alpha per query
+        dominated the extrapolation cost.  Treat the returned array as
+        read-only.
+        """
+        if self._confidence is None:
+            alpha = 1.0 - self.sad / self.max_sad
+            self._confidence = np.clip(alpha, 0.0, 1.0)
+        return self._confidence
 
     # ------------------------------------------------------------------
     # ROI queries (used by the extrapolation algorithm)
@@ -220,6 +231,21 @@ class MotionField:
         alpha = self.confidence()[rows, cols]
         confidence = float((alpha * weights).sum() / total)
         return MotionVector(u, v), confidence
+
+    def roi_statistics_batch(
+        self, rois: "Sequence[BoundingBox]"
+    ) -> List[Tuple[MotionVector, float]]:
+        """:meth:`roi_statistics` for every ROI against this field at once.
+
+        The batch form exists for the extrapolator's sub-ROI sweep: the
+        full-grid confidence is computed once (memoized) and each ROI's
+        weight pass runs against it.  Per-ROI reductions use exactly the
+        arithmetic of :meth:`roi_statistics`, so the results are
+        bit-identical to querying one ROI at a time.
+        """
+        if rois:
+            self.confidence()  # materialise the shared alpha grid once
+        return [self.roi_statistics(roi) for roi in rois]
 
     def _roi_weights(self, roi: BoundingBox) -> Tuple[np.ndarray, slice, slice]:
         """Overlap areas between ``roi`` and each macroblock it touches.
